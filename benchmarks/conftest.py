@@ -1,0 +1,19 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark prints a paper-vs-measured table (visible via the
+``out`` fixture even under pytest's capture) and persists it under
+``benchmarks/out/``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def out(capsys):
+    """Print-through helper: emit benchmark tables despite capture."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _print

@@ -1,0 +1,101 @@
+"""Design-choice ablation: degree bucketing vs neighbor grouping.
+
+DESIGN.md §6 extension.  Both techniques attack Observation 2's load
+imbalance; bucketing (DGL's pre-kernel-rewrite batching) buys uniform
+blocks with padding waste and one launch per bucket, while neighbor
+grouping keeps exact work at the cost of atomics.  The paper's choice
+of grouping should win on the hub-heavy datasets where padding explodes.
+"""
+
+from repro.bench import bench_config, format_table, write_result
+from repro.core import (
+    ExecLayout,
+    aggregation_kernel,
+    bucketed_aggregation_kernels,
+    degree_buckets,
+    neighbor_grouping,
+)
+from repro.gpusim import simulate_kernel, simulate_kernels
+from repro.graph import DATASET_NAMES, load_dataset
+
+FEAT = 32
+DISPATCH = 25e-6
+
+
+def test_bucketing_vs_neighbor_grouping(benchmark, out):
+    config = bench_config()
+
+    def run():
+        rows = {}
+        for name in DATASET_NAMES:
+            g = load_dataset(name)
+            base = simulate_kernel(
+                aggregation_kernel(
+                    g, FEAT, config, ExecLayout.default(g)
+                ),
+                config,
+            )
+            buckets = degree_buckets(g)
+            bucketed = simulate_kernels(
+                bucketed_aggregation_kernels(g, FEAT, config, buckets),
+                config, dispatch_overhead=DISPATCH,
+            )
+            ng = simulate_kernel(
+                aggregation_kernel(
+                    g, FEAT, config,
+                    ExecLayout(grouping=neighbor_grouping(g, 32)),
+                ),
+                config,
+            )
+            base_t = base.time + DISPATCH
+            ng_t = ng.time + DISPATCH
+            bucket_busy = sum(k.makespan for k in bucketed.kernels)
+            bucket_bal = sum(k.balanced_time for k in bucketed.kernels)
+            rows[name] = {
+                "base": base_t * 1e3,
+                "bucketed": bucketed.total_time * 1e3,
+                "ng": ng_t * 1e3,
+                "waste": buckets.padding_waste(g),
+                "buckets": buckets.num_buckets,
+                "base_imbalance": base.makespan / max(
+                    base.balanced_time, 1e-12
+                ),
+                "bucket_imbalance": bucket_busy / max(bucket_bal, 1e-12),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = [
+        [n, rows[n]["base"], rows[n]["bucketed"], rows[n]["ng"],
+         rows[n]["waste"], rows[n]["buckets"]]
+        for n in DATASET_NAMES
+    ]
+    text = format_table(
+        "Ablation — degree bucketing vs neighbor grouping "
+        "(GCN last-layer aggregation, ms)",
+        ["dataset", "base", "bucketed", "NG", "pad_waste", "#buckets"],
+        table,
+    )
+    out(write_result("bucketing_ablation", text))
+
+    for n in DATASET_NAMES:
+        r = rows[n]
+        # Bucketing always pays padding (>1x) and per-bucket launches.
+        assert r["waste"] >= 1.0, n
+    # Neighbor grouping beats bucketing on the hub-heavy datasets where
+    # power-of-two padding hurts the most.
+    wins = sum(
+        1
+        for n in ("arxiv", "ppa", "reddit", "products")
+        if rows[n]["ng"] < rows[n]["bucketed"]
+    )
+    assert wins >= 3
+    # Historical verdict, reproduced: against a modern parallel base
+    # kernel, degree bucketing is strictly dominated — the padding,
+    # the per-bucket launches and the small buckets' slot
+    # underutilization cost more than the balance it buys (which is
+    # why DGL abandoned it and why the paper's finer-grained neighbor
+    # grouping is the right fix for Observation 2).
+    for n in DATASET_NAMES:
+        assert rows[n]["ng"] < rows[n]["bucketed"], n
+        assert rows[n]["bucketed"] > 0.9 * rows[n]["base"], n

@@ -1,0 +1,59 @@
+"""Fig. 10: data visible range adapter (± linear property) benefits."""
+
+from repro.bench import fig10_adapter, format_table, write_result
+from repro.graph import DATASET_NAMES
+
+
+def test_fig10a_gat_adapter(benchmark, out):
+    results = benchmark.pedantic(
+        lambda: fig10_adapter("gat"), rounds=1, iterations=1
+    )
+    rows = [
+        [n, results[n]["base"], results[n]["adapter"],
+         results[n]["adapter_linear"]]
+        for n in DATASET_NAMES
+    ]
+    text = format_table(
+        "Fig. 10a — GAT layer time, normalized to NG+LAS baseline",
+        ["dataset", "base", "+adapter", "+adp+linear"],
+        rows,
+    )
+    out(write_result("fig10a_gat_adapter", text))
+
+    for n in DATASET_NAMES:
+        r = results[n]
+        # Significant improvement from fusing the 7-kernel chain.
+        assert r["adapter"] < 0.9 * r["base"], n
+        # The linear property adds more on top (paper: "even more
+        # speedups").
+        assert r["adapter_linear"] <= r["adapter"] + 1e-9, n
+
+
+def test_fig10b_gcn_adapter(benchmark, out):
+    results = benchmark.pedantic(
+        lambda: fig10_adapter("gcn"), rounds=1, iterations=1
+    )
+    rows = [
+        [n, results[n]["base"], results[n]["adapter_linear"]]
+        for n in DATASET_NAMES
+    ]
+    text = format_table(
+        "Fig. 10b — GCN layer time, normalized to NG+LAS baseline",
+        ["dataset", "base", "+adp+linear"],
+        rows,
+    )
+    out(write_result("fig10b_gcn_adapter", text))
+
+    gains = {
+        n: 1.0 - results[n]["adapter_linear"] for n in DATASET_NAMES
+    }
+    # The simple GCN computation graph leaves limited fusion headroom
+    # (paper: ~16% average improvement).
+    avg_gain = sum(gains.values()) / len(gains)
+    assert 0.02 < avg_gain < 0.45
+    # GAT (complex chain) gains more than GCN (simple chain) on average.
+    gat = fig10_adapter("gat")
+    gat_gain = sum(
+        1.0 - gat[n]["adapter_linear"] for n in DATASET_NAMES
+    ) / len(DATASET_NAMES)
+    assert gat_gain > avg_gain

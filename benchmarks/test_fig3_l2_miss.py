@@ -1,0 +1,34 @@
+"""Fig. 3: L2 cache miss rates of graph operations in DGL's GCN."""
+
+from repro.bench import fig3_l2_miss_rates, format_table, write_result
+from repro.bench.paper_expected import FIG3_HIGH_MISS, FIG3_LOW_MISS
+from repro.graph import DATASET_NAMES
+
+
+def test_fig3_l2_miss_rates(benchmark, out):
+    results = benchmark.pedantic(
+        fig3_l2_miss_rates, rounds=1, iterations=1
+    )
+    rows = [
+        [n, 100.0 * results[n][0],
+         "w/ cuSPARSE" if results[n][1] else "",
+         ">50%" if n in FIG3_HIGH_MISS else "low"]
+        for n in DATASET_NAMES
+    ]
+    text = format_table(
+        "Fig. 3 — L2 miss rate (%) of GCN last-layer graph op in DGL",
+        ["dataset", "miss%", "path", "paper"],
+        rows,
+        col_width=12,
+    )
+    out(write_result("fig3_l2_miss", text))
+
+    # Paper shape: >50% miss except on the small (ddi) or inherently
+    # clustered (protein) datasets.
+    for name in FIG3_HIGH_MISS:
+        assert results[name][0] > 0.50, name
+    for name in FIG3_LOW_MISS:
+        assert results[name][0] < 0.50, name
+    # ddi and protein must be the two LOWEST miss rates.
+    ordered = sorted(DATASET_NAMES, key=lambda n: results[n][0])
+    assert set(ordered[:2]) == set(FIG3_LOW_MISS)

@@ -1,0 +1,95 @@
+"""GraphSAGE-LSTM over a protein-interaction network, three ways.
+
+Scenario: sequence-aware neighborhood aggregation on the ``protein``-like
+dataset (the paper's motivating case for neural operations in the
+center-neighbor pattern, Figs. 1 and 6).  Runs the LSTM aggregator under
+the three execution strategies of §4.3 —
+
+* base            (expand to [N, k, F], transform inside every cell),
+* sparse fetching (gather per cell, no expansion buffer),
+* + redundancy bypassing (transform once, O(N) instead of O(E)),
+
+verifies bit-level-close outputs, and compares simulated kernel plans,
+FLOPs and footprints.
+
+Run:  python examples/protein_sage_lstm.py
+"""
+
+import numpy as np
+
+from repro.core import SageStrategy, lower_sage_lstm, run_sage_lstm_functional
+from repro.gpusim import V100_SCALED, simulate_kernels, tensor_bytes
+from repro.graph import load_dataset
+from repro.models import SageLSTMConfig
+from repro.ops import LSTMParams
+
+
+def main() -> None:
+    graph = load_dataset("protein")
+    cfg = SageLSTMConfig()  # F=32, hidden=32, k=16 (paper footnote 3)
+    print(f"dataset: {graph}")
+    print(f"model: GraphSAGE-LSTM, F={cfg.f_in}, hidden={cfg.hidden}, "
+          f"k={cfg.num_neighbors}")
+
+    rng = np.random.default_rng(0)
+    feat = rng.standard_normal(
+        (graph.num_nodes, cfg.f_in)
+    ).astype(np.float32)
+    params = LSTMParams.init(cfg.f_in, cfg.hidden, seed=1)
+
+    print("\nfunctional outputs:")
+    outputs = {}
+    for strategy in SageStrategy:
+        outputs[strategy] = run_sage_lstm_functional(
+            graph, feat, params, k=cfg.num_neighbors, strategy=strategy
+        )
+    ref = outputs[SageStrategy.BASE]
+    for strategy, out in outputs.items():
+        diff = np.abs(out - ref).max()
+        print(f"  {strategy.value:>18s}: max |diff| vs base = {diff:.2e}")
+
+    print("\nsimulated execution:")
+    results = {}
+    for strategy in SageStrategy:
+        kernels, phases = lower_sage_lstm(
+            graph, cfg.f_in, cfg.hidden, cfg.num_neighbors,
+            V100_SCALED, strategy,
+        )
+        report = simulate_kernels(
+            kernels, V100_SCALED, dispatch_overhead=25e-6
+        )
+        times = [k.time for k in report.kernels]
+        by_phase = {}
+        for p in phases:
+            by_phase[p.phase] = by_phase.get(p.phase, 0.0) + times[
+                p.kernel_index
+            ]
+        results[strategy] = report.total_time
+        transforms = sum(p.phase == "transformation" for p in phases)
+        print(
+            f"  {strategy.value:>18s}: {report.total_time * 1e3:6.3f} ms  "
+            f"({report.num_kernels} kernels, {transforms} input "
+            f"transforms, "
+            + ", ".join(
+                f"{ph}={t * 1e3:.2f}ms" for ph, t in sorted(by_phase.items())
+            )
+            + ")"
+        )
+
+    base = results[SageStrategy.BASE]
+    print(f"\nsparse fetching alone:     "
+          f"{base / results[SageStrategy.SPARSE_FETCH]:.2f}x "
+          "(paper: <10% gain)")
+    print(f"+ redundancy bypassing:    "
+          f"{base / results[SageStrategy.REDUNDANCY_BYPASS]:.2f}x "
+          "(paper: ~32% gain)")
+
+    exp_bytes = tensor_bytes(
+        graph.num_nodes, cfg.num_neighbors, cfg.f_in
+    )
+    print(f"\nexpansion buffer avoided: {exp_bytes / 2**20:.1f} MiB "
+          f"([N={graph.num_nodes}, k={cfg.num_neighbors}, F={cfg.f_in}])")
+
+
+if __name__ == "__main__":
+    main()

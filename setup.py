@@ -1,0 +1,6 @@
+"""Shim for environments without the `wheel` package (offline CI):
+enables `pip install -e . --no-build-isolation --no-use-pep517`.
+Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — reproduction of "Understanding and Bridging the Gaps in
+Current GNN Performance Optimizations" (PPoPP '21).
+
+Public API tour:
+
+* :mod:`repro.graph` — CSR graphs, synthetic generators and the eight
+  scaled OGB-like datasets.
+* :mod:`repro.gpusim` — the GPU execution-model simulator (the V100
+  substitute): block scheduling, occupancy, L2 models, OOM accounting.
+* :mod:`repro.ops` / :mod:`repro.models` — functional operators and the
+  GCN / GAT / GraphSAGE-LSTM reference models.
+* :mod:`repro.frameworks` — execution strategies of DGL, PyG, ROC and
+  our optimized runtime.
+* :mod:`repro.core` — the paper's contribution: locality-aware task
+  scheduling, neighbor grouping, the data visible range adapter, sparse
+  fetching + redundancy bypassing, and the tuner.
+* :mod:`repro.bench` — the harness that regenerates every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.graph import load_dataset
+    from repro.gpusim import V100_SCALED
+    from repro.frameworks import DGLLike, OursRuntime
+
+    g = load_dataset("arxiv")
+    base = DGLLike().run_model("gat", g, V100_SCALED)
+    ours = OursRuntime().run_model("gat", g, V100_SCALED)
+    print(base.time_ms / ours.time_ms, "x speedup")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,204 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Examples::
+
+    python -m repro datasets
+    python -m repro compare --model gat --datasets arxiv ddi
+    python -m repro fig3
+    python -m repro table6 --datasets arxiv collab
+    python -m repro tune --dataset products --feat 64
+    python -m repro schedule --dataset citation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import (
+    bench_config,
+    cached_schedule,
+    fig3_l2_miss_rates,
+    format_table,
+    table4_occupancy,
+    table5_expansion_transform,
+    table6_gat_ablation,
+)
+from .core import cluster_sizes, tune
+from .frameworks import NotSupported, all_frameworks
+from .gpusim.memory import SimulatedOOM
+from .graph import DATASET_NAMES, dataset_stats_row, load_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def _dataset_list(args) -> List[str]:
+    names = args.datasets or DATASET_NAMES
+    for n in names:
+        if n not in DATASET_NAMES:
+            raise SystemExit(
+                f"unknown dataset {n!r}; choose from {DATASET_NAMES}"
+            )
+    return names
+
+
+def cmd_datasets(args) -> int:
+    rows = []
+    for name in _dataset_list(args):
+        r = dataset_stats_row(name)
+        rows.append([r["name"], r["domain"], r["N"], r["E"],
+                     round(r["avg"], 1), r["max"], f"{r['density']:.1e}"])
+    print(format_table(
+        "Scaled datasets (Table 3 signatures)",
+        ["dataset", "domain", "N", "E", "avg", "max", "density"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    sim = bench_config()
+    frameworks = all_frameworks()
+    if args.frameworks:
+        frameworks = {
+            k: v for k, v in frameworks.items() if k in args.frameworks
+        }
+    rows = []
+    for name in _dataset_list(args):
+        g = load_dataset(name)
+        row = [name]
+        for fname, fw in frameworks.items():
+            try:
+                row.append(fw.run_model(args.model, g, sim).time_ms)
+            except NotSupported:
+                row.append("X")
+            except SimulatedOOM:
+                row.append(None)
+        rows.append(row)
+    print(format_table(
+        f"{args.model} forward time (ms)",
+        ["dataset"] + list(frameworks),
+        rows,
+    ))
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    res = fig3_l2_miss_rates(_dataset_list(args))
+    rows = [[n, 100 * res[n][0]] for n in res]
+    print(format_table(
+        "Fig. 3 — DGL GCN graph-op L2 miss rate (%)",
+        ["dataset", "miss%"], rows,
+    ))
+    return 0
+
+
+def cmd_table4(args) -> int:
+    res = table4_occupancy(_dataset_list(args))
+    rows = [[n, res[n][1.0], res[n][0.5], res[n][0.1]] for n in res]
+    print(format_table(
+        "Table 4 — % time active blocks below thresholds (DGL GAT)",
+        ["dataset", "<100%", "<50%", "<10%"], rows,
+    ))
+    return 0
+
+
+def cmd_table5(args) -> int:
+    res = table5_expansion_transform(_dataset_list(args))
+    rows = [[n, res[n][0], res[n][1]] for n in res]
+    print(format_table(
+        "Table 5 — expansion / transformation % (DGL SAGE-LSTM)",
+        ["dataset", "expand%", "transf%"], rows,
+    ))
+    return 0
+
+
+def cmd_table6(args) -> int:
+    res = table6_gat_ablation(_dataset_list(args))
+    rows = [
+        [n, res[n]["adp"], res[n]["adp_ng"], res[n]["adp_ng_las"]]
+        for n in res
+    ]
+    print(format_table(
+        "Table 6 — GAT-layer ablation speedups",
+        ["dataset", "Adp", "Adp+NG", "+LAS"], rows,
+    ))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    g = load_dataset(args.dataset)
+    result = tune(g, args.feat, bench_config())
+    print(f"dataset {args.dataset}, F={args.feat}: "
+          f"bound={result.bound} lanes={result.lanes} "
+          f"({result.rounds} rounds)")
+    for bound, t in sorted(result.trace.items()):
+        mark = " *" if bound == result.bound else ""
+        print(f"  bound {bound:4d}: {t * 1e6:9.1f} us{mark}")
+    print(f"  ungrouped: {result.baseline_seconds * 1e6:9.1f} us")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    g = load_dataset(args.dataset)
+    sched = cached_schedule(g)
+    sizes = cluster_sizes(sched)
+    print(f"dataset {args.dataset}: {sched.num_clusters:,} clusters, "
+          f"max size {sizes.max()}, "
+          f"{(sizes > 1).sum():,} non-trivial, "
+          f"{sched.num_candidate_pairs:,} candidate pairs, "
+          f"analysis {sched.analysis_seconds * 1e3:.0f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="PPoPP'21 GNN performance-gap reproduction",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_datasets_arg(sp):
+        sp.add_argument("--datasets", nargs="*", default=None,
+                        help="subset of datasets (default: all eight)")
+
+    sp = sub.add_parser("datasets", help="print Table 3 statistics")
+    add_datasets_arg(sp)
+    sp.set_defaults(func=cmd_datasets)
+
+    sp = sub.add_parser("compare", help="Fig. 7-style comparison")
+    sp.add_argument("--model", choices=["gcn", "gat", "sage_lstm"],
+                    default="gcn")
+    sp.add_argument("--frameworks", nargs="*", default=None)
+    add_datasets_arg(sp)
+    sp.set_defaults(func=cmd_compare)
+
+    for name, fn, help_ in (
+        ("fig3", cmd_fig3, "DGL GCN L2 miss rates"),
+        ("table4", cmd_table4, "active-block starvation"),
+        ("table5", cmd_table5, "SAGE-LSTM expansion/transform shares"),
+        ("table6", cmd_table6, "GAT-layer ablation"),
+    ):
+        sp = sub.add_parser(name, help=help_)
+        add_datasets_arg(sp)
+        sp.set_defaults(func=fn)
+
+    sp = sub.add_parser("tune", help="run the online tuner")
+    sp.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    sp.add_argument("--feat", type=int, default=32)
+    sp.set_defaults(func=cmd_tune)
+
+    sp = sub.add_parser("schedule", help="run locality-aware scheduling")
+    sp.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    sp.set_defaults(func=cmd_schedule)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""The paper's contribution: scheduling, grouping, adapter, sparse
+fetching/redundancy bypassing, and the tuner."""
+
+from .adapter import plan_fusion
+from .degree_bucketing import (
+    DegreeBuckets,
+    bucketed_aggregation_kernels,
+    degree_buckets,
+)
+from .compgraph import (
+    FusionGroup,
+    FusionPlan,
+    Op,
+    OpKind,
+    VisibleRange,
+    gat_attention_ops,
+    gcn_layer_ops,
+    unfused_plan,
+)
+from .grouping import GroupingPlan, identity_grouping, neighbor_grouping
+from .lowering import (
+    ExecLayout,
+    aggregation_kernel,
+    compute_waste,
+    edge_chain_kernel,
+    edge_expansion_kernel,
+    edge_gather_kernel,
+    effective_row_bytes,
+    gather_rows_kernel,
+    gemm_kernel,
+    lower_plan,
+    node_map_kernel,
+    scalar_segment_reduce_kernel,
+    scatter_reduce_kernel,
+)
+from .persistence import (
+    graph_fingerprint,
+    load_schedule,
+    load_tuning,
+    save_schedule,
+    save_tuning,
+    schedule_with_cache,
+)
+from .minhash import (
+    MinHashSignature,
+    exact_jaccard,
+    lsh_candidate_pairs,
+    minhash_signatures,
+    signature_similarity,
+)
+from .scheduling import ScheduleResult, cluster_sizes, locality_aware_schedule
+from .sparse_fetch import (
+    SageStrategy,
+    lower_sage_lstm,
+    run_sage_lstm_functional,
+    sample_neighbors,
+)
+from .tuner import (
+    TuningResult,
+    candidate_bounds,
+    pick_lanes,
+    pick_launch_config,
+    tune,
+)
+
+__all__ = [
+    "DegreeBuckets",
+    "bucketed_aggregation_kernels",
+    "degree_buckets",
+    "plan_fusion",
+    "FusionGroup",
+    "FusionPlan",
+    "Op",
+    "OpKind",
+    "VisibleRange",
+    "gat_attention_ops",
+    "gcn_layer_ops",
+    "unfused_plan",
+    "GroupingPlan",
+    "identity_grouping",
+    "neighbor_grouping",
+    "ExecLayout",
+    "aggregation_kernel",
+    "compute_waste",
+    "edge_chain_kernel",
+    "edge_expansion_kernel",
+    "edge_gather_kernel",
+    "effective_row_bytes",
+    "gather_rows_kernel",
+    "gemm_kernel",
+    "lower_plan",
+    "node_map_kernel",
+    "scalar_segment_reduce_kernel",
+    "scatter_reduce_kernel",
+    "graph_fingerprint",
+    "load_schedule",
+    "load_tuning",
+    "save_schedule",
+    "save_tuning",
+    "schedule_with_cache",
+    "MinHashSignature",
+    "exact_jaccard",
+    "lsh_candidate_pairs",
+    "minhash_signatures",
+    "signature_similarity",
+    "ScheduleResult",
+    "cluster_sizes",
+    "locality_aware_schedule",
+    "SageStrategy",
+    "lower_sage_lstm",
+    "run_sage_lstm_functional",
+    "sample_neighbors",
+    "TuningResult",
+    "candidate_bounds",
+    "pick_lanes",
+    "pick_launch_config",
+    "tune",
+]

@@ -1,0 +1,137 @@
+"""Data visible range adapter: fusion planning over the computation graph.
+
+The adapter (paper §4.2) fuses adjacent operations into one kernel when
+the producer's data visible range can be *adapted* to the consumer's —
+thread-local values are promoted to warp/block scope with shuffles and
+shared memory instead of a round trip through global memory.  A consumer
+that needs data at GLOBAL scope (e.g. reading a segment sum that other
+blocks contribute to) forces a kernel boundary... unless the chain that
+consumes the reduced value is *linear*, in which case those ops are
+postponed past the next aggregation (the §4.2 K1/K2 normalization
+example), dissolving the boundary.
+
+Rules encoded here:
+
+* per-element edge ops (EDGE_MAP, U_ADD_V, BCAST, EDGE_DIV) chain freely
+  at THREAD scope;
+* a SEG_REDUCE can fuse *into* its producing edge chain (order-
+  insensitive reducers accumulate via adapter/shared-memory partials and
+  atomics), but its output is complete only at kernel end, so any
+  consumer starts a new kernel;
+* an AGGREGATE can fuse with the edge chain feeding its edge weights;
+* DENSE/NODE_MAP ops fuse with each other and with a following
+  AGGREGATE's prologue (the norm-scale of GCN) when the adapter is on;
+* with ``allow_linear``, BCAST+EDGE_DIV chains that separate a
+  SEG_REDUCE from an AGGREGATE are postponed into the aggregate kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .compgraph import FusionGroup, FusionPlan, Op, OpKind, unfused_plan
+
+__all__ = ["plan_fusion"]
+
+_EDGE_CHAIN = {
+    OpKind.EDGE_MAP,
+    OpKind.U_ADD_V,
+    OpKind.BCAST,
+    OpKind.EDGE_DIV,
+}
+
+
+def _consumes_reduced(op: Op) -> bool:
+    """Does this op read the output of a preceding SEG_REDUCE?"""
+    return op.kind in (OpKind.BCAST,)
+
+
+def _fusable_after(
+    prev: Op, nxt: Op, grouped: bool, allow_linear: bool
+) -> bool:
+    """Can ``nxt`` start in the same kernel as ``prev``?"""
+    if prev.kind == OpKind.AGGREGATE and nxt.kind == OpKind.NODE_MAP:
+        # A linear node map after an aggregate fuses into the aggregate's
+        # epilogue: scaling distributes over the (possibly atomic) sum.
+        return allow_linear and nxt.linear
+    # Anything after a completed reduction/aggregation needs its result:
+    # global barrier.
+    if prev.kind in (OpKind.SEG_REDUCE, OpKind.AGGREGATE, OpKind.DENSE):
+        return False
+    if prev.kind == OpKind.NODE_MAP:
+        # Node-feature maps feed aggregates per-source-row: the adapter
+        # folds the scale into the aggregate's gather (register scope).
+        return nxt.kind in (OpKind.AGGREGATE, OpKind.NODE_MAP)
+    if prev.kind in _EDGE_CHAIN:
+        if nxt.kind in _EDGE_CHAIN:
+            return True
+        if nxt.kind == OpKind.SEG_REDUCE:
+            # Adapter promotes thread partials to block scope; cross-block
+            # remainders use atomics.  Fusable whether or not grouping
+            # split the center.
+            return True
+        if nxt.kind == OpKind.AGGREGATE:
+            return True
+    return False
+
+
+def plan_fusion(
+    ops: List[Op],
+    *,
+    allow_adapter: bool = True,
+    allow_linear: bool = False,
+    grouped: bool = False,
+    label: str = "",
+) -> FusionPlan:
+    """Partition an op chain into kernels.
+
+    ``grouped`` records whether neighbor grouping may split one center's
+    edges across blocks (it turns SEG_REDUCE scopes global; with the
+    adapter the reduce still fuses by switching to atomic partials).
+    """
+    if not allow_adapter:
+        return unfused_plan(ops)
+
+    ops = list(ops)
+    postponed_marks = [False] * len(ops)
+    if allow_linear:
+        # Find BCAST / EDGE_DIV runs lying strictly between a SEG_REDUCE
+        # and a later AGGREGATE; mark them postponed into the aggregate.
+        for i, op in enumerate(ops):
+            if op.kind not in (OpKind.BCAST, OpKind.EDGE_DIV):
+                continue
+            if op.kind == OpKind.EDGE_DIV and not op.linear:
+                continue
+            has_reduce_before = any(
+                o.kind == OpKind.SEG_REDUCE for o in ops[:i]
+            )
+            agg_after = any(o.kind == OpKind.AGGREGATE for o in ops[i + 1 :])
+            if has_reduce_before and agg_after:
+                postponed_marks[i] = True
+
+    groups: List[FusionGroup] = []
+    current = FusionGroup()
+    pending_postponed: List[Op] = []
+    prev_live: Op | None = None
+    for i, op in enumerate(ops):
+        if postponed_marks[i]:
+            pending_postponed.append(op)
+            continue
+        if prev_live is None:
+            current.ops.append(op)
+        elif _fusable_after(prev_live, op, grouped, allow_linear):
+            current.ops.append(op)
+        else:
+            groups.append(current)
+            current = FusionGroup([op])
+        if op.kind == OpKind.AGGREGATE and pending_postponed:
+            current.postponed.extend(pending_postponed)
+            pending_postponed = []
+        prev_live = op
+    if pending_postponed:
+        # No aggregate followed; execute them as their own kernel after all.
+        groups.append(current)
+        current = FusionGroup(pending_postponed)
+    if current.ops or current.postponed:
+        groups.append(current)
+    return FusionPlan(groups, label=label or ("linear" if allow_linear else "adapter"))

@@ -1,0 +1,151 @@
+"""Computation-graph IR with data-visible-range annotations.
+
+The paper's Observation 3 is that frameworks execute a GNN layer as many
+tiny kernels because every operation's output is given *global* data
+visibility by default.  This module provides the small IR the adapter
+(:mod:`repro.core.adapter`) analyzes: a linear chain of operations (GNN
+layers lower to chains — Listing 1 is one) where each op declares
+
+* its **kind** (what it reads/writes, at what granularity),
+* whether a consumer can read its output at thread/warp/block scope or
+  only after a global synchronization, and
+* whether it is **linear** in its main operand (the property that lets a
+  normalization be postponed past an aggregation — §4.2's K1/K2 example).
+
+Shape classes: ``N1``/``NF`` node-aligned scalars/features, ``E1``/``EF``
+edge-aligned, ``S`` parameters.  Sizes are resolved against a graph +
+feature length at lowering time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Tuple
+
+__all__ = ["OpKind", "Op", "VisibleRange", "gat_attention_ops", "gcn_layer_ops"]
+
+
+class VisibleRange(enum.IntEnum):
+    """Scope of threads in which an op's output is visible without sync."""
+
+    THREAD = 0
+    WARP = 1
+    BLOCK = 2
+    GLOBAL = 3
+
+
+class OpKind(enum.Enum):
+    DENSE = "dense"            # GEMM on node features
+    EDGE_MAP = "edge_map"      # elementwise on per-edge scalars
+    U_ADD_V = "u_add_v"        # per-edge combine of two node scalars
+    SEG_REDUCE = "seg_reduce"  # per-edge scalars -> per-center scalar
+    BCAST = "bcast"            # per-center scalar -> per-edge scalar
+    EDGE_DIV = "edge_div"      # e / e_acc (linear in e)
+    AGGREGATE = "aggregate"    # weighted feature aggregation (u_mul_e+sum)
+    NODE_MAP = "node_map"      # elementwise on node features
+
+
+@dataclasses.dataclass(frozen=True)
+class Op:
+    """One operation in a layer's computation chain.
+
+    ``flops_per_elem`` is per output element.  ``linear`` means the op is
+    linear in its edge-aligned operand, so it commutes with sum
+    aggregation (enables the linear-property postponement).
+    """
+
+    name: str
+    kind: OpKind
+    out_shape: str          # one of N1, NF, E1, EF
+    flops_per_elem: float = 1.0
+    linear: bool = False
+
+    def natural_scope(self, grouped: bool) -> VisibleRange:
+        """Visibility scope at which this op's output becomes complete.
+
+        Per-element ops complete at THREAD scope.  A segment reduction
+        completes at BLOCK scope when each center's edges live in one
+        block, but at GLOBAL scope once neighbor grouping may split a
+        center across SMs.
+        """
+        if self.kind == OpKind.SEG_REDUCE:
+            return VisibleRange.GLOBAL if grouped else VisibleRange.BLOCK
+        if self.kind in (OpKind.DENSE, OpKind.AGGREGATE, OpKind.NODE_MAP):
+            return VisibleRange.GLOBAL  # complete only at kernel end
+        return VisibleRange.THREAD
+
+
+def elem_count(shape: str, num_nodes: int, num_edges: int, feat: int) -> int:
+    """Resolve a shape class to an element count."""
+    return {
+        "N1": num_nodes,
+        "NF": num_nodes * feat,
+        "E1": num_edges,
+        "EF": num_edges * feat,
+    }[shape]
+
+
+def gat_attention_ops() -> List[Op]:
+    """The GAT attention chain of paper Listing 1 (after the dense
+    projections): seven operations, exactly DGL's decomposition."""
+    return [
+        Op("u_add_v", OpKind.U_ADD_V, "E1", flops_per_elem=1),
+        Op("leaky_relu", OpKind.EDGE_MAP, "E1", flops_per_elem=2),
+        Op("exp", OpKind.EDGE_MAP, "E1", flops_per_elem=4),
+        Op("seg_sum", OpKind.SEG_REDUCE, "N1", flops_per_elem=1),
+        Op("bcast", OpKind.BCAST, "E1", flops_per_elem=0),
+        Op("div", OpKind.EDGE_DIV, "E1", flops_per_elem=1, linear=True),
+        Op("aggregate", OpKind.AGGREGATE, "NF", flops_per_elem=2),
+    ]
+
+
+def gcn_layer_ops() -> List[Op]:
+    """DGL GraphConv's graph-side chain: scale by in-norm, SpMM
+    aggregate, scale by out-norm (the dense GEMM is lowered separately)."""
+    return [
+        Op("norm_src", OpKind.NODE_MAP, "NF", flops_per_elem=1, linear=True),
+        Op("aggregate", OpKind.AGGREGATE, "NF", flops_per_elem=2),
+        Op("norm_dst", OpKind.NODE_MAP, "NF", flops_per_elem=1, linear=True),
+    ]
+
+
+@dataclasses.dataclass
+class FusionGroup:
+    """A set of consecutive ops executed as one kernel.
+
+    ``postponed`` ops were moved *into* this group from an earlier
+    position via the linear property (they execute on the aggregated
+    output instead of per edge).
+    """
+
+    ops: List[Op] = dataclasses.field(default_factory=list)
+    postponed: List[Op] = dataclasses.field(default_factory=list)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(op.name for op in self.ops)
+
+
+@dataclasses.dataclass
+class FusionPlan:
+    groups: List[FusionGroup]
+    label: str = ""
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.groups)
+
+    def describe(self) -> str:
+        parts = []
+        for g in self.groups:
+            names = "+".join(g.names)
+            if g.postponed:
+                names += "(+post:" + ",".join(o.name for o in g.postponed) + ")"
+            parts.append("[" + names + "]")
+        return " ".join(parts)
+
+
+def unfused_plan(ops: List[Op]) -> FusionPlan:
+    """One kernel per op — the DGL/PyG default the paper criticizes."""
+    return FusionPlan([FusionGroup([op]) for op in ops], label="unfused")

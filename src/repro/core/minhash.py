@@ -1,0 +1,154 @@
+"""MinHash signatures and Locality-Sensitive Hashing over neighbor sets.
+
+Locality-aware task scheduling (paper §4.1.1) must find pairs of center
+nodes whose neighbor sets have high Jaccard similarity without comparing
+all N² pairs.  Following the paper (which cites Mining of Massive
+Datasets), we:
+
+1. compute a MinHash *signature* per center node — ``num_hashes``
+   universal-hash minima over its neighbor set; equal signature rows are
+   an unbiased estimator of Jaccard similarity;
+2. split signatures into ``bands`` of ``rows_per_band`` rows and hash
+   each band; nodes colliding in any band become *candidate pairs*.
+
+Everything is vectorized: hashes are evaluated over the CSR ``indices``
+array once and reduced per-row with ``np.minimum.reduceat``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "MinHashSignature",
+    "minhash_signatures",
+    "lsh_candidate_pairs",
+    "signature_similarity",
+    "exact_jaccard",
+]
+
+_MERSENNE_P = (1 << 61) - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class MinHashSignature:
+    """``uint64[num_hashes, N]`` signature matrix plus the empty-row mask."""
+
+    matrix: np.ndarray
+    empty: np.ndarray  # bool[N]: centers with no neighbors
+
+    @property
+    def num_hashes(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.matrix.shape[1])
+
+
+def minhash_signatures(
+    graph: CSRGraph, num_hashes: int = 32, seed: int = 0
+) -> MinHashSignature:
+    """MinHash signature of every center node's neighbor set."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, _MERSENNE_P, size=num_hashes, dtype=np.int64)
+    b = rng.integers(0, _MERSENNE_P, size=num_hashes, dtype=np.int64)
+    n = graph.num_nodes
+    out = np.full((num_hashes, n), np.iinfo(np.int64).max, dtype=np.int64)
+    nonempty = graph.degrees > 0
+    if graph.num_edges:
+        neigh = graph.indices.astype(np.int64)
+        starts = graph.indptr[:-1][nonempty]
+        for h in range(num_hashes):
+            # Universal hash evaluated on every edge endpoint, then
+            # min-reduced per center row.  Python-level loop is over the
+            # (small) hash count, not the edges.
+            vals = (a[h] * neigh + b[h]) % _MERSENNE_P
+            out[h, nonempty] = np.minimum.reduceat(vals, starts)
+    return MinHashSignature(matrix=out, empty=~nonempty)
+
+
+def signature_similarity(
+    sig: MinHashSignature, u: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """Estimated Jaccard similarity for node-id pairs (vectorized)."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    eq = sig.matrix[:, u] == sig.matrix[:, v]
+    est = eq.mean(axis=0)
+    # Two empty sets are defined as similarity 0 (nothing to co-schedule).
+    both_empty = sig.empty[u] & sig.empty[v]
+    return np.where(both_empty, 0.0, est)
+
+
+def exact_jaccard(graph: CSRGraph, u: int, v: int) -> float:
+    """Exact Jaccard similarity of two centers' neighbor sets (oracle)."""
+    nu = set(graph.neighbors(u).tolist())
+    nv = set(graph.neighbors(v).tolist())
+    if not nu and not nv:
+        return 0.0
+    return len(nu & nv) / len(nu | nv)
+
+
+def lsh_candidate_pairs(
+    sig: MinHashSignature,
+    bands: int = 16,
+    pair_window: int = 4,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Candidate similar pairs from LSH banding.
+
+    Returns ``(pairs, sims)`` where ``pairs`` is ``int64[P, 2]`` with
+    ``u < v`` unique rows and ``sims`` their signature-estimated Jaccard
+    similarity.
+
+    Within a bucket, every member is paired with its ``pair_window``
+    bucket-sorted successors (full coverage for buckets up to
+    ``pair_window + 1`` members, stride sampling for larger ones).  This
+    caps worst-case pair counts at ``bands * pair_window * N`` — the LSH
+    "search-space reduction" the paper needs for large graphs — and is
+    fully vectorized (no per-bucket Python loop).  Truly similar nodes
+    collide in several bands, so they get several pairing chances.
+    """
+    h, n = sig.matrix.shape
+    bands = max(1, min(bands, h))
+    rows = h // bands
+    rng = np.random.default_rng(seed)
+    lo_chunks, hi_chunks = [], []
+    empty_count = int(sig.empty.sum())
+    for b in range(bands):
+        band = sig.matrix[b * rows : (b + 1) * rows, :]
+        # Bucket key: collapse the band to one hashable int64 per node.
+        mix = rng.integers(1, _MERSENNE_P, size=rows, dtype=np.int64)
+        key = ((band * mix[:, None]) % _MERSENNE_P).sum(axis=0)
+        if empty_count:
+            key[sig.empty] = -1 - np.arange(empty_count)  # isolate
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        for d in range(1, pair_window + 1):
+            if d >= n:
+                break
+            same = sorted_key[d:] == sorted_key[:-d]
+            if not same.any():
+                continue
+            a = order[:-d][same]
+            c = order[d:][same]
+            lo_chunks.append(np.minimum(a, c))
+            hi_chunks.append(np.maximum(a, c))
+    if not lo_chunks:
+        return (
+            np.empty((0, 2), dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    lo = np.concatenate(lo_chunks)
+    hi = np.concatenate(hi_chunks)
+    packed = lo * np.int64(n) + hi
+    uniq = np.unique(packed)
+    pairs = np.stack([uniq // n, uniq % n], axis=1)
+    sims = signature_similarity(sig, pairs[:, 0], pairs[:, 1])
+    return pairs, sims

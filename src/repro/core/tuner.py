@@ -1,0 +1,174 @@
+"""Tuning framework (paper §4.4).
+
+Chooses running configurations from both the problem (graph statistics,
+feature length) and the optimizations' characteristics:
+
+* **neighbor-grouping bound** — multiples of 16, at most 10x the average
+  degree, at most 20 rounds of online search (the paper's exact search
+  space); each round simulates the representative aggregation kernel and
+  keeps the fastest bound.
+* **feature-lane mapping** — how many threads map along the feature
+  dimension ("putting tasks of feature dimension to the same computing
+  unit"); picking lanes that divide F removes the warp-lane and
+  cache-line waste behind Fig. 4's sawtooth (Fig. 12 shows the tuned
+  curve).
+
+The offline part (locality-aware scheduling) is computed separately and
+passed in — §4.4 stresses it is optional; :func:`tune` works with or
+without it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..gpusim.config import GPUConfig
+from ..gpusim.executor import simulate_kernel
+from ..gpusim.occupancy import LaunchConfig, SMResources, blocks_per_sm
+from ..graph.csr import CSRGraph
+from .grouping import identity_grouping, neighbor_grouping
+from .lowering import ExecLayout, aggregation_kernel
+
+__all__ = [
+    "TuningResult",
+    "candidate_bounds",
+    "pick_lanes",
+    "pick_launch_config",
+    "tune",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningResult:
+    """Chosen configuration plus the search trace."""
+
+    bound: Optional[int]        # None = grouping not profitable
+    lanes: int
+    packed_rows: bool
+    rounds: int
+    trace: Dict[int, float]     # bound -> simulated kernel seconds
+    baseline_seconds: float
+    launch: LaunchConfig = LaunchConfig()
+    resident_blocks_per_sm: int = 0
+
+    def layout(
+        self, graph: CSRGraph, center_order: Optional[np.ndarray] = None
+    ) -> ExecLayout:
+        grouping = (
+            neighbor_grouping(graph, self.bound)
+            if self.bound is not None
+            else identity_grouping(graph)
+        )
+        return ExecLayout(
+            grouping=grouping,
+            center_order=center_order,
+            lanes=self.lanes,
+            packed_rows=self.packed_rows,
+        )
+
+
+def candidate_bounds(graph: CSRGraph, max_rounds: int = 20) -> List[int]:
+    """The paper's search space: multiples of 16 up to 10x avg degree,
+    capped at ``max_rounds`` candidates."""
+    cap = max(16, int(10 * max(graph.avg_degree, 1.0)))
+    bounds = list(range(16, cap + 1, 16))
+    if len(bounds) > max_rounds:
+        # Keep coverage of the whole range with at most max_rounds probes.
+        idx = np.linspace(0, len(bounds) - 1, max_rounds).round().astype(int)
+        bounds = [bounds[i] for i in np.unique(idx)]
+    return bounds
+
+
+def pick_lanes(feat_len: int) -> int:
+    """Largest lane count in {32, 16, 8, 4} that divides the feature
+    length (falling back to 32 — full warps — when none divides)."""
+    for lanes in (32, 16, 8, 4):
+        if feat_len % lanes == 0:
+            return lanes
+    return 32
+
+
+def pick_launch_config(
+    feat_len: int,
+    bound: int = 32,
+    sm: SMResources = SMResources(),
+) -> LaunchConfig:
+    """The tuner's first step (§4.4): exhaust GPU resources.
+
+    Searches thread counts and shared-memory staging sizes for the
+    launch configuration with the most resident warps, limiting shared
+    memory usage (the per-block neighbor staging buffer is what competes
+    for it) exactly as the paper describes.
+    """
+    best = LaunchConfig()
+    best_warps = -1
+    for threads in (128, 256, 512):
+        for stage_rows in (0, bound):
+            launch = LaunchConfig(
+                threads_per_block=threads,
+                registers_per_thread=32,
+                shared_per_block=stage_rows * feat_len * 4,
+            )
+            blocks = blocks_per_sm(launch, sm)
+            warps = blocks * (-(-threads // sm.warp_size))
+            # Prefer more resident warps; tie-break toward the staged
+            # (shared-memory) variant which serves the adapter.
+            if warps > best_warps or (
+                warps == best_warps
+                and launch.shared_per_block > best.shared_per_block
+            ):
+                best, best_warps = launch, warps
+    return best
+
+
+def tune(
+    graph: CSRGraph,
+    feat_len: int,
+    config: GPUConfig,
+    *,
+    center_order: Optional[np.ndarray] = None,
+    max_rounds: int = 20,
+) -> TuningResult:
+    """Online multi-round search for the aggregation configuration."""
+    lanes = pick_lanes(feat_len)
+    base_layout = ExecLayout(
+        grouping=identity_grouping(graph),
+        center_order=center_order,
+        lanes=lanes,
+        packed_rows=True,
+    )
+    base = simulate_kernel(
+        aggregation_kernel(graph, feat_len, config, base_layout), config
+    )
+    best_bound: Optional[int] = None
+    best_time = base.time
+    trace: Dict[int, float] = {}
+    bounds = candidate_bounds(graph, max_rounds=max_rounds)
+    for bound in bounds:
+        layout = ExecLayout(
+            grouping=neighbor_grouping(graph, bound),
+            center_order=center_order,
+            lanes=lanes,
+            packed_rows=True,
+        )
+        stats = simulate_kernel(
+            aggregation_kernel(graph, feat_len, config, layout), config
+        )
+        trace[bound] = stats.time
+        if stats.time < best_time:
+            best_time = stats.time
+            best_bound = bound
+    launch = pick_launch_config(feat_len, bound=best_bound or 32)
+    return TuningResult(
+        bound=best_bound,
+        lanes=lanes,
+        packed_rows=True,
+        rounds=len(bounds),
+        trace=trace,
+        baseline_seconds=base.time,
+        launch=launch,
+        resident_blocks_per_sm=blocks_per_sm(launch),
+    )

@@ -1,0 +1,45 @@
+"""Execution-strategy models of the compared frameworks."""
+
+from typing import Dict
+
+from .base import ForwardResult, Framework, NotSupported, make_features
+from .dgl_like import DGLLike
+from .neugraph_like import NeuGraphLike
+from .ours import OursOptions, OursRuntime
+from .pyg_like import PyGLike
+from .roc_like import ROCLike
+from .training_epoch import gcn_epoch_report, lower_gcn_backward
+
+__all__ = [
+    "ForwardResult",
+    "Framework",
+    "NotSupported",
+    "make_features",
+    "DGLLike",
+    "NeuGraphLike",
+    "OursOptions",
+    "OursRuntime",
+    "PyGLike",
+    "ROCLike",
+    "gcn_epoch_report",
+    "lower_gcn_backward",
+    "default_frameworks",
+    "all_frameworks",
+]
+
+
+def default_frameworks() -> Dict[str, Framework]:
+    """The four frameworks of Fig. 7, in the paper's row order."""
+    return {
+        "dgl": DGLLike(),
+        "pyg": PyGLike(),
+        "roc": ROCLike(),
+        "ours": OursRuntime(),
+    }
+
+
+def all_frameworks() -> Dict[str, Framework]:
+    """Fig. 7's four plus the NeuGraph model the paper analyzes in §3."""
+    fw = default_frameworks()
+    fw["neugraph"] = NeuGraphLike()
+    return fw

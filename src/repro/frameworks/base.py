@@ -1,0 +1,135 @@
+"""Framework interface.
+
+A *framework* here is an execution strategy: how GNN layers lower to
+kernels and device allocations.  All frameworks share the functional
+operators (outputs are numerically identical where supported — the
+paper's "semantics unchanged" property, enforced by tests) and the same
+simulator cost model; they differ exactly in the strategies the paper
+analyzes: task granularity, kernel decomposition, expansion vs. fused
+access, and memory behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..gpusim.config import GPUConfig
+from ..gpusim.metrics import RunReport
+from ..graph.csr import CSRGraph
+from ..models.gat import GATConfig
+from ..models.gcn import GCNConfig
+from ..models.sage_lstm import SageLSTMConfig
+
+__all__ = [
+    "Framework",
+    "ForwardResult",
+    "NotSupported",
+    "make_features",
+    "BASELINE_DISPATCH",
+    "FUSED_DISPATCH",
+]
+
+#: Per-operator host dispatch cost in the baseline frameworks: every
+#: computation-graph op goes through Python bindings + the framework
+#: scheduler before its kernel launches (Observation 3's "intensive
+#: function calls with large overhead of kernel launch and framework
+#: scheduling").  25 us is a typical DGL/PyG-on-PyTorch figure.
+BASELINE_DISPATCH = 25e-6
+
+#: All frameworks (ours included — it is wrapped in PyTorch, §5) pay the
+#: same per-op dispatch; fused runtimes win by launching fewer ops.
+FUSED_DISPATCH = BASELINE_DISPATCH
+
+
+class NotSupported(NotImplementedError):
+    """The framework does not implement this model (the paper's '×')."""
+
+
+@dataclasses.dataclass
+class ForwardResult:
+    """Simulated performance report plus (optionally) the real output."""
+
+    report: RunReport
+    output: Optional[np.ndarray] = None
+
+    @property
+    def time_ms(self) -> float:
+        return self.report.total_time_ms
+
+
+def make_features(
+    graph: CSRGraph, feat_len: int, seed: int = 0
+) -> np.ndarray:
+    """Seeded input features shared across frameworks for comparisons."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((graph.num_nodes, feat_len)).astype(
+        np.float32
+    )
+
+
+class Framework(abc.ABC):
+    """Abstract execution strategy."""
+
+    name: str = "abstract"
+    #: Host-side per-operator dispatch overhead, seconds.
+    dispatch_overhead: float = BASELINE_DISPATCH
+
+    @abc.abstractmethod
+    def run_gcn(
+        self,
+        graph: CSRGraph,
+        model: GCNConfig,
+        sim: GPUConfig,
+        *,
+        compute: bool = False,
+        feat: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> ForwardResult:
+        """One forward pass of the stacked GCN.
+
+        Raises :class:`~repro.gpusim.memory.SimulatedOOM` when the
+        strategy's footprint exceeds the simulated device memory, and
+        :class:`NotSupported` when the framework lacks the model.
+        """
+
+    @abc.abstractmethod
+    def run_gat(
+        self,
+        graph: CSRGraph,
+        model: GATConfig,
+        sim: GPUConfig,
+        *,
+        compute: bool = False,
+        feat: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> ForwardResult:
+        """One forward pass of the stacked GAT."""
+
+    @abc.abstractmethod
+    def run_sage_lstm(
+        self,
+        graph: CSRGraph,
+        model: SageLSTMConfig,
+        sim: GPUConfig,
+        *,
+        compute: bool = False,
+        feat: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> ForwardResult:
+        """One forward pass of GraphSAGE-LSTM."""
+
+    def run_model(
+        self, model_name: str, graph: CSRGraph, sim: GPUConfig, **kwargs
+    ) -> ForwardResult:
+        """Dispatch by model name ('gcn', 'gat', 'sage_lstm')."""
+        if model_name == "gcn":
+            return self.run_gcn(graph, GCNConfig(), sim, **kwargs)
+        if model_name == "gat":
+            return self.run_gat(graph, GATConfig(), sim, **kwargs)
+        if model_name == "sage_lstm":
+            return self.run_sage_lstm(graph, SageLSTMConfig(), sim, **kwargs)
+        raise KeyError(f"unknown model {model_name!r}")

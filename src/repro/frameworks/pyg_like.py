@@ -1,0 +1,241 @@
+"""PyTorch-Geometric-style execution (edge-wise parallelization).
+
+Per the paper's §3 analysis of PyG 1.5:
+
+* graph operations run **edge-wise** over an edge list (Fig. 2 top):
+  step 1 *index-selects* source features into a dense ``[E, F]`` message
+  matrix, step 2 scatter-reduces it into centers — two kernels, with
+  memory consumption linear in E (the OOM cells of Fig. 7);
+* load balance is good (edge granularity) but the duplication cost and
+  expanded-intermediate traffic dominate (Observation 1);
+* GAT keeps both the expanded source features and the scaled messages
+  alive (plus per-edge attention scratch), roughly doubling the
+  E-proportional footprint — which is why PyG OOMs on more datasets for
+  GAT than for GCN in Fig. 7;
+* GraphSAGE-LSTM is not implemented (the '×' cells of Fig. 7c).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.lowering import (
+    edge_chain_kernel,
+    edge_expansion_kernel,
+    edge_gather_kernel,
+    gemm_kernel,
+    node_map_kernel,
+    scalar_segment_reduce_kernel,
+    scatter_reduce_kernel,
+)
+from ..gpusim.config import GPUConfig
+from ..gpusim.executor import simulate_kernels
+from ..gpusim.kernel import KernelSpec
+from ..gpusim.memory import DeviceMemory
+from ..models.gat import GATConfig
+from ..models.gcn import GCNConfig, gcn_norms
+from ..models.sage_lstm import SageLSTMConfig
+from ..ops.graphops import gather_src, segment_softmax, segment_sum
+from ..ops.nnops import leaky_relu, relu
+from .base import ForwardResult, Framework, NotSupported, make_features
+
+__all__ = ["PyGLike"]
+
+
+class PyGLike(Framework):
+    name = "pyg"
+
+    # ------------------------------------------------------------------
+    def run_gcn(self, graph, model: GCNConfig, sim: GPUConfig, *,
+                compute=False, feat=None, seed=0) -> ForwardResult:
+        mem = DeviceMemory(sim.device_mem_bytes)
+        dims = model.dims
+        n, e = graph.num_nodes, graph.num_edges
+        mem.alloc_tensor("edge_index", 2 * e)  # COO edge list
+        mem.alloc_tensor("h0", n, dims[0])
+        kernels: List[KernelSpec] = []
+        for li in range(model.num_layers):
+            f_in, f_out = dims[li], dims[li + 1]
+            mem.alloc_tensor(f"hw{li}", n, f_out)
+            kernels.append(
+                gemm_kernel(n, f_in, f_out, sim, name=f"gcn{li}.gemm")
+            )
+            # Step 1: expansion — THE footprint (freed after the scatter).
+            mem.alloc_tensor(f"msg{li}", e, f_out)
+            kernels.append(
+                edge_expansion_kernel(
+                    graph, f_out, sim, name=f"gcn{li}.expand"
+                )
+            )
+            # Per-edge norm multiply over the expanded matrix.
+            kernels.append(
+                edge_chain_kernel(
+                    graph, sim, name=f"gcn{li}.edge_norm",
+                    reads_per_edge=4.0 * f_out + 4.0,
+                    writes_per_edge=4.0 * f_out,
+                    flops_per_edge=float(f_out),
+                )
+            )
+            # Step 2: scatter reduction.
+            mem.alloc_tensor(f"h{li + 1}", n, f_out)
+            kernels.append(
+                scatter_reduce_kernel(
+                    graph, f_out, sim, name=f"gcn{li}.scatter"
+                )
+            )
+            if li < model.num_layers - 1:
+                kernels.append(
+                    node_map_kernel(n, f_out, sim, name=f"gcn{li}.relu")
+                )
+            mem.free(f"msg{li}")
+            mem.free(f"hw{li}")
+            mem.free(f"h{li}" if li else "h0")
+        report = simulate_kernels(
+            kernels, sim, dispatch_overhead=self.dispatch_overhead,
+            label=f"{self.name}:gcn:{graph.name}",
+            peak_mem_bytes=mem.peak,
+        )
+        output = None
+        if compute:
+            feat = feat if feat is not None else make_features(
+                graph, dims[0], seed
+            )
+            output = self._gcn_functional(graph, feat, model, seed)
+        return ForwardResult(report, output)
+
+    @staticmethod
+    def _gcn_functional(graph, feat, model: GCNConfig, seed) -> np.ndarray:
+        """PyG's gather→scale→scatter composition (same math as DGL)."""
+        params = model.params(seed)
+        norm_src, norm_dst = gcn_norms(graph)
+        dst = graph.edge_dst()
+        h = feat
+        for li, w in enumerate(params.weights):
+            hw = (h @ w).astype(np.float32)
+            msg = gather_src(graph, hw)                       # [E, F]
+            ew = (norm_src[graph.indices] * norm_dst[dst])    # [E]
+            msg = msg * ew[:, None]
+            h = segment_sum(graph, msg)
+            if li < len(params.weights) - 1:
+                h = relu(h)
+        return h.astype(np.float32)
+
+    # ------------------------------------------------------------------
+    def run_gat(self, graph, model: GATConfig, sim: GPUConfig, *,
+                compute=False, feat=None, seed=0) -> ForwardResult:
+        mem = DeviceMemory(sim.device_mem_bytes)
+        dims = model.dims
+        n, e = graph.num_nodes, graph.num_edges
+        mem.alloc_tensor("edge_index", 2 * e)
+        mem.alloc_tensor("h0", n, dims[0])
+        kernels: List[KernelSpec] = []
+        for li in range(model.num_layers):
+            f_in, f_out = dims[li], dims[li + 1]
+            mem.alloc_tensor(f"hw{li}", n, f_out)
+            kernels.append(
+                gemm_kernel(n, f_in, f_out, sim, name=f"gat{li}.gemm_w")
+            )
+            kernels.append(
+                gemm_kernel(n, f_out, 2, sim, name=f"gat{li}.gemm_att")
+            )
+            # PyG 1.5's GATConv gathers BOTH endpoints' features to
+            # compute attention: an [E, 2F] expansion on top of the
+            # message expansion (why GAT OOMs on more datasets, Fig. 7b).
+            mem.alloc_tensor(f"att_in{li}", e, 2 * f_out)
+            kernels.append(
+                edge_expansion_kernel(graph, 2 * f_out, sim,
+                                      name=f"gat{li}.att_expand")
+            )
+            mem.alloc_tensor(f"alpha{li}", e, 4)
+            kernels.append(
+                edge_chain_kernel(
+                    graph, sim, name=f"gat{li}.att_score",
+                    reads_per_edge=8.0 * f_out,
+                    writes_per_edge=4.0,
+                    flops_per_edge=4.0 * f_out,
+                )
+            )
+            kernels.append(
+                edge_chain_kernel(graph, sim, name=f"gat{li}.leaky_exp",
+                                  reads_per_edge=4.0, writes_per_edge=4.0,
+                                  flops_per_edge=6.0)
+            )
+            kernels.append(
+                scalar_segment_reduce_kernel(graph, sim,
+                                             name=f"gat{li}.softmax_sum")
+            )
+            kernels.append(
+                edge_gather_kernel(graph, sim, name=f"gat{li}.softmax_div",
+                                   node_values_read=1)
+            )
+            # Expanded source features AND scaled messages both live.
+            mem.alloc_tensor(f"x_j{li}", e, f_out)
+            kernels.append(
+                edge_expansion_kernel(graph, f_out, sim,
+                                      name=f"gat{li}.expand")
+            )
+            mem.alloc_tensor(f"msg{li}", e, f_out)
+            kernels.append(
+                edge_chain_kernel(
+                    graph, sim, name=f"gat{li}.scale",
+                    reads_per_edge=4.0 * f_out + 4.0,
+                    writes_per_edge=4.0 * f_out,
+                    flops_per_edge=float(f_out),
+                )
+            )
+            mem.alloc_tensor(f"h{li + 1}", n, f_out)
+            kernels.append(
+                scatter_reduce_kernel(graph, f_out, sim,
+                                      name=f"gat{li}.scatter")
+            )
+            if li < model.num_layers - 1:
+                kernels.append(
+                    node_map_kernel(n, f_out, sim, name=f"gat{li}.relu")
+                )
+            for t in (f"x_j{li}", f"msg{li}", f"alpha{li}",
+                      f"att_in{li}", f"hw{li}"):
+                mem.free(t)
+            mem.free(f"h{li}" if li else "h0")
+        report = simulate_kernels(
+            kernels, sim, dispatch_overhead=self.dispatch_overhead,
+            label=f"{self.name}:gat:{graph.name}",
+            peak_mem_bytes=mem.peak,
+        )
+        output = None
+        if compute:
+            feat = feat if feat is not None else make_features(
+                graph, dims[0], seed
+            )
+            output = self._gat_functional(graph, feat, model, seed)
+        return ForwardResult(report, output)
+
+    @staticmethod
+    def _gat_functional(graph, feat, model: GATConfig, seed) -> np.ndarray:
+        params = model.params(seed)
+        dst = graph.edge_dst()
+        h = feat
+        last = params.num_layers - 1
+        for li in range(params.num_layers):
+            hw = (h @ params.weights[li]).astype(np.float32)
+            att_src = hw @ params.att_left[li]
+            att_dst = hw @ params.att_right[li]
+            ev = leaky_relu(
+                att_src[graph.indices] + att_dst[dst],
+                model.negative_slope,
+            )
+            alpha = segment_softmax(graph, ev)
+            msg = gather_src(graph, hw) * alpha[:, None]      # [E, F]
+            h = segment_sum(graph, msg)
+            if li < last:
+                h = relu(h)
+        return h.astype(np.float32)
+
+    # ------------------------------------------------------------------
+    def run_sage_lstm(self, graph, model: SageLSTMConfig, sim, *,
+                      compute=False, feat=None, seed=0) -> ForwardResult:
+        raise NotSupported(
+            "PyG (1.5, as studied by the paper) does not implement the "
+            "GraphSAGE-LSTM aggregator"
+        )

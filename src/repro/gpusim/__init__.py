@@ -1,0 +1,40 @@
+"""GPU execution-model simulator (the V100 substitute; DESIGN.md §5)."""
+
+from .cache import (
+    hit_mask,
+    lru_hits,
+    previous_occurrence,
+    reuse_distances,
+    window_hits,
+)
+from .config import V100, V100_SCALED, GPUConfig
+from .executor import block_durations, simulate_kernel, simulate_kernels
+from .kernel import KernelSpec
+from .memory import DeviceMemory, SimulatedOOM, tensor_bytes
+from .metrics import KernelStats, RunReport, occupancy_below
+from .occupancy import LaunchConfig, SMResources, blocks_per_sm, occupancy
+
+__all__ = [
+    "hit_mask",
+    "lru_hits",
+    "previous_occurrence",
+    "reuse_distances",
+    "window_hits",
+    "V100",
+    "V100_SCALED",
+    "GPUConfig",
+    "block_durations",
+    "simulate_kernel",
+    "simulate_kernels",
+    "KernelSpec",
+    "DeviceMemory",
+    "SimulatedOOM",
+    "tensor_bytes",
+    "KernelStats",
+    "RunReport",
+    "occupancy_below",
+    "LaunchConfig",
+    "SMResources",
+    "blocks_per_sm",
+    "occupancy",
+]

@@ -1,0 +1,126 @@
+"""GPU execution-model configuration.
+
+Defaults are anchored to the paper's platform, an NVIDIA Tesla V100
+(80 SMs, 6 MiB L2, ~900 GB/s HBM2, 15.7 TFLOP/s fp32) with CUDA-typical
+kernel-launch overhead.  The simulated device memory is scaled down
+(default 1 GiB) in proportion to the scaled datasets so that out-of-memory
+behaviour (PyG's expansion OOMs, Fig. 7) reproduces on the same relative
+workloads.
+
+Only first-order mechanisms are modelled — block scheduling, occupancy,
+L2 reuse, bandwidth and launch overhead — because those are exactly the
+mechanisms the paper's five observations and four optimizations operate
+on (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["GPUConfig", "V100"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUConfig:
+    """Machine model parameters.
+
+    Attributes
+    ----------
+    num_sms:
+        Streaming multiprocessors.
+    blocks_per_sm:
+        Maximum concurrently-resident thread blocks per SM at the default
+        launch configuration.  ``num_sms * blocks_per_sm`` is the number
+        of block *slots* the list scheduler fills.
+    threads_per_block / warp_size:
+        Launch geometry used by the lowering code for sizing block tasks.
+    l2_bytes / line_bytes:
+        L2 capacity and cache-line size (the cache model works at
+        feature-row granularity, derived from these).
+    dram_bandwidth / l2_bandwidth:
+        Aggregate device bandwidths in bytes/second.
+    peak_flops:
+        fp32 peak throughput; ``dense_efficiency`` discounts it for GEMM
+        kernels (real GEMMs achieve 50–70%).
+    kernel_launch_overhead:
+        Fixed host-side cost per kernel launch, seconds.  This is the
+        term the adapter's fusion removes (Observation 3).
+    block_overhead:
+        Fixed per-block scheduling cost, seconds.
+    atomic_cost:
+        Per-atomic-update cost, seconds (neighbor grouping's cross-SM
+        reduction pays this).
+    device_mem_bytes:
+        Simulated device memory budget for OOM accounting.
+    cache_model:
+        ``"window"`` (vectorized working-set approximation, default) or
+        ``"lru"`` (exact stack-distance, O(n log n), for validation).
+    l2_feature_fraction:
+        Share of L2 effectively available to feature rows; the rest is
+        churned by structure reads, per-edge scalars and write-allocate
+        traffic that stream through the cache.
+    cache_trace_limit:
+        Cap on the number of row accesses simulated per kernel; longer
+        traces are sampled by a contiguous window (documented
+        approximation — hit *rates* are stable under windowing).
+    """
+
+    num_sms: int = 80
+    blocks_per_sm: int = 2
+    threads_per_block: int = 256
+    warp_size: int = 32
+    l2_bytes: int = 6 * 1024 * 1024
+    line_bytes: int = 128
+    dram_bandwidth: float = 900e9
+    l2_bandwidth: float = 2_700e9
+    peak_flops: float = 15.7e12
+    dense_efficiency: float = 0.55
+    kernel_launch_overhead: float = 5e-6
+    block_overhead: float = 0.04e-6
+    atomic_cost: float = 4e-9
+    device_mem_bytes: int = 1 * 1024 * 1024 * 1024
+    l2_feature_fraction: float = 0.5
+    cache_model: str = "window"
+    cache_trace_limit: int = 2_000_000
+
+    @property
+    def total_block_slots(self) -> int:
+        return self.num_sms * self.blocks_per_sm
+
+    @property
+    def flops_per_slot(self) -> float:
+        return self.peak_flops / self.total_block_slots
+
+    @property
+    def dram_bw_per_slot(self) -> float:
+        return self.dram_bandwidth / self.total_block_slots
+
+    @property
+    def l2_bw_per_slot(self) -> float:
+        return self.l2_bandwidth / self.total_block_slots
+
+    def cache_capacity_rows(self, row_bytes: int) -> int:
+        """How many feature rows of ``row_bytes`` fit in (the feature
+        share of) L2."""
+        lines_per_row = max(
+            1, -(-row_bytes // self.line_bytes)
+        )  # ceil division
+        avail = self.l2_bytes * self.l2_feature_fraction
+        return max(1, int(avail // (lines_per_row * self.line_bytes)))
+
+    def replace(self, **kwargs) -> "GPUConfig":
+        """Functional update (configs are frozen)."""
+        return dataclasses.replace(self, **kwargs)
+
+
+#: The paper's evaluation platform.
+V100 = GPUConfig()
+
+#: The scaled platform used with the scaled datasets (DESIGN.md §2): L2 and
+#: device memory shrink by roughly the same factor as the graphs, so cache
+#: pressure and OOM behaviour match the paper's relative shapes.
+V100_SCALED = GPUConfig(
+    l2_bytes=384 * 1024,
+    device_mem_bytes=1 * 1024 * 1024 * 1024,
+    cache_trace_limit=1_200_000,
+)

@@ -1,0 +1,139 @@
+"""Kernel abstraction: a launch plus a set of block tasks.
+
+A :class:`KernelSpec` describes one GPU kernel in array form (no
+per-block Python objects — blocks can number in the hundreds of
+thousands).  Each block carries:
+
+* a FLOP count,
+* a ragged list of *cacheable* feature-row reads (``row_ids`` sliced by
+  ``row_ptr``), each read moving ``row_bytes`` bytes through L2/DRAM
+  depending on the cache model's verdict,
+* ``stream_bytes`` of traffic that never hits in L2 at this granularity
+  (CSR structure, per-edge scalars, writes, dense-intermediate streaming),
+* an atomic-update count (cross-SM reductions under neighbor grouping).
+
+Dense kernels (GEMMs, element-wise maps) are built with
+:meth:`KernelSpec.uniform_dense`, which splits an aggregate cost across
+uniform blocks — their behaviour is bandwidth/compute-bound, not
+locality-bound, so no row trace is needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["KernelSpec"]
+
+
+@dataclasses.dataclass
+class KernelSpec:
+    name: str
+    block_flops: np.ndarray                 # float64[B]
+    row_ptr: Optional[np.ndarray] = None    # int64[B+1] into row_ids
+    row_ids: Optional[np.ndarray] = None    # int64[R]
+    row_bytes: int = 0                      # bytes moved per row access
+    stream_bytes: Optional[np.ndarray] = None  # float64[B]
+    atomics: Optional[np.ndarray] = None    # int64[B]
+    counts_launch: bool = True              # pay launch overhead?
+    tag: str = ""                           # e.g. "cusparse", "fused"
+
+    def __post_init__(self) -> None:
+        self.block_flops = np.asarray(self.block_flops, dtype=np.float64)
+        b = self.num_blocks
+        if self.stream_bytes is None:
+            self.stream_bytes = np.zeros(b, dtype=np.float64)
+        else:
+            self.stream_bytes = np.asarray(self.stream_bytes, np.float64)
+        if self.atomics is None:
+            self.atomics = np.zeros(b, dtype=np.int64)
+        else:
+            self.atomics = np.asarray(self.atomics, dtype=np.int64)
+        if self.row_ptr is not None:
+            self.row_ptr = np.asarray(self.row_ptr, dtype=np.int64)
+            self.row_ids = np.asarray(self.row_ids, dtype=np.int64)
+            if self.row_ptr.shape[0] != b + 1:
+                raise ValueError(
+                    f"{self.name}: row_ptr has {self.row_ptr.shape[0]} "
+                    f"entries for {b} blocks"
+                )
+            if self.row_ptr[-1] != self.row_ids.shape[0]:
+                raise ValueError(f"{self.name}: row_ptr/row_ids mismatch")
+        if self.stream_bytes.shape[0] != b or self.atomics.shape[0] != b:
+            raise ValueError(f"{self.name}: per-block array length mismatch")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return int(self.block_flops.shape[0])
+
+    @property
+    def total_flops(self) -> float:
+        return float(self.block_flops.sum())
+
+    @property
+    def num_row_accesses(self) -> int:
+        return 0 if self.row_ids is None else int(self.row_ids.shape[0])
+
+    @property
+    def total_bytes(self) -> float:
+        """All traffic requested (rows at row_bytes + streaming)."""
+        return float(
+            self.num_row_accesses * self.row_bytes + self.stream_bytes.sum()
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform_dense(
+        cls,
+        name: str,
+        flops: float,
+        bytes_moved: float,
+        num_blocks: int,
+        counts_launch: bool = True,
+        tag: str = "dense",
+    ) -> "KernelSpec":
+        """A dense kernel whose cost is spread evenly over its blocks."""
+        num_blocks = max(1, int(num_blocks))
+        return cls(
+            name=name,
+            block_flops=np.full(num_blocks, flops / num_blocks),
+            stream_bytes=np.full(num_blocks, bytes_moved / num_blocks),
+            counts_launch=counts_launch,
+            tag=tag,
+        )
+
+    def reordered(self, block_perm: np.ndarray) -> "KernelSpec":
+        """Return a copy with blocks issued in ``block_perm`` order.
+
+        This is the hook locality-aware task scheduling uses: the executor
+        issues blocks in array order, so permuting the arrays permutes
+        both the schedule and the cache access stream.
+        """
+        block_perm = np.asarray(block_perm, dtype=np.int64)
+        if self.row_ptr is None:
+            row_ptr, row_ids = None, None
+        else:
+            lengths = np.diff(self.row_ptr)[block_perm]
+            row_ptr = np.zeros(self.num_blocks + 1, dtype=np.int64)
+            np.cumsum(lengths, out=row_ptr[1:])
+            total = int(row_ptr[-1])
+            starts = self.row_ptr[:-1][block_perm]
+            # Ragged gather: absolute source index of every row entry.
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                row_ptr[:-1], lengths
+            )
+            row_ids = self.row_ids[np.repeat(starts, lengths) + offsets]
+        return KernelSpec(
+            name=self.name,
+            block_flops=self.block_flops[block_perm],
+            row_ptr=row_ptr,
+            row_ids=row_ids,
+            row_bytes=self.row_bytes,
+            stream_bytes=self.stream_bytes[block_perm],
+            atomics=self.atomics[block_perm],
+            counts_launch=self.counts_launch,
+            tag=self.tag,
+        )

@@ -1,0 +1,69 @@
+"""Simulated device memory accounting.
+
+Frameworks register every tensor they would materialize on the GPU; the
+tracker raises :class:`SimulatedOOM` when the live footprint exceeds the
+configured budget — *before* any host allocation happens, so PyG's [E, F]
+expansion on large graphs reproduces the paper's "OOM" cells of Fig. 7
+without actually exhausting host RAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["SimulatedOOM", "DeviceMemory", "tensor_bytes"]
+
+
+class SimulatedOOM(MemoryError):
+    """The simulated device ran out of memory."""
+
+    def __init__(self, requested: int, live: int, budget: int, what: str):
+        self.requested = requested
+        self.live = live
+        self.budget = budget
+        self.what = what
+        super().__init__(
+            f"simulated OOM allocating {requested / 2**20:.1f} MiB for "
+            f"{what!r}: {live / 2**20:.1f} MiB live of "
+            f"{budget / 2**20:.1f} MiB budget"
+        )
+
+
+def tensor_bytes(*shape: int, itemsize: int = 4) -> int:
+    """Bytes of a dense tensor of the given shape."""
+    n = itemsize
+    for s in shape:
+        n *= int(s)
+    return n
+
+
+class DeviceMemory:
+    """Live-set + peak tracker with named allocations."""
+
+    def __init__(self, budget_bytes: int) -> None:
+        self.budget = int(budget_bytes)
+        self.live = 0
+        self.peak = 0
+        self._allocs: Dict[str, int] = {}
+
+    def alloc(self, name: str, nbytes: int) -> None:
+        nbytes = int(nbytes)
+        if self.live + nbytes > self.budget:
+            raise SimulatedOOM(nbytes, self.live, self.budget, name)
+        self._allocs[name] = self._allocs.get(name, 0) + nbytes
+        self.live += nbytes
+        self.peak = max(self.peak, self.live)
+
+    def alloc_tensor(self, name: str, *shape: int, itemsize: int = 4) -> None:
+        self.alloc(name, tensor_bytes(*shape, itemsize=itemsize))
+
+    def free(self, name: str) -> None:
+        nbytes = self._allocs.pop(name, 0)
+        self.live -= nbytes
+
+    def free_all(self) -> None:
+        self._allocs.clear()
+        self.live = 0
+
+    def would_fit(self, nbytes: int) -> bool:
+        return self.live + int(nbytes) <= self.budget

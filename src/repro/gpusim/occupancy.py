@@ -1,0 +1,96 @@
+"""Occupancy calculation: launch configuration → resident blocks per SM.
+
+The paper's tuner (§4.4) first "exhausts GPU resources by scheduling
+more warps and increases the maximum number of thread blocks by limiting
+their resources such as shared memory usage".  This module provides the
+CUDA-style occupancy arithmetic behind that step: given a kernel's
+launch configuration (threads per block, registers per thread, shared
+memory per block) and the SM's physical limits, how many blocks can be
+resident concurrently — the ``blocks_per_sm`` the executor's slot count
+derives from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["SMResources", "LaunchConfig", "blocks_per_sm", "occupancy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SMResources:
+    """Physical per-SM limits (defaults: Volta V100 / CC 7.0)."""
+
+    max_threads: int = 2048
+    max_blocks: int = 32
+    max_warps: int = 64
+    registers: int = 65536
+    shared_memory: int = 96 * 1024
+    warp_size: int = 32
+    register_allocation_unit: int = 256
+    shared_allocation_unit: int = 256
+
+
+@dataclasses.dataclass(frozen=True)
+class LaunchConfig:
+    """One kernel's per-block resource demands."""
+
+    threads_per_block: int = 256
+    registers_per_thread: int = 32
+    shared_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads_per_block < 1:
+            raise ValueError("threads_per_block must be positive")
+        if self.registers_per_thread < 0 or self.shared_per_block < 0:
+            raise ValueError("resource demands must be non-negative")
+
+
+def _round_up(x: int, unit: int) -> int:
+    return -(-x // unit) * unit
+
+
+def blocks_per_sm(
+    launch: LaunchConfig, sm: SMResources = SMResources()
+) -> int:
+    """Maximum concurrently-resident blocks of this kernel per SM.
+
+    The minimum over the four CUDA limits: block slots, warp slots,
+    register file, shared memory.  Returns 0 when a single block does
+    not fit (launch failure).
+    """
+    warps = -(-launch.threads_per_block // sm.warp_size)
+    if (
+        launch.threads_per_block > sm.max_threads
+        or warps > sm.max_warps
+    ):
+        return 0
+    by_blocks = sm.max_blocks
+    by_threads = sm.max_threads // launch.threads_per_block
+    by_warps = sm.max_warps // warps
+    regs_per_block = _round_up(
+        launch.registers_per_thread * launch.threads_per_block,
+        sm.register_allocation_unit,
+    )
+    by_regs = (
+        sm.registers // regs_per_block if regs_per_block else sm.max_blocks
+    )
+    smem_per_block = _round_up(
+        launch.shared_per_block, sm.shared_allocation_unit
+    )
+    by_smem = (
+        sm.shared_memory // smem_per_block
+        if smem_per_block
+        else sm.max_blocks
+    )
+    return max(0, min(by_blocks, by_threads, by_warps, by_regs, by_smem))
+
+
+def occupancy(
+    launch: LaunchConfig, sm: SMResources = SMResources()
+) -> float:
+    """Achieved occupancy: resident warps / warp slots (the nvprof
+    metric the paper's Observation 2 instrumentation is built on)."""
+    blocks = blocks_per_sm(launch, sm)
+    warps = -(-launch.threads_per_block // sm.warp_size)
+    return blocks * warps / sm.max_warps

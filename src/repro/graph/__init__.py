@@ -1,0 +1,43 @@
+"""Graph substrate: CSR structure, synthetic generators, dataset registry."""
+
+from .csr import CSRGraph, GraphValidationError, coo_to_csr, csr_to_coo
+from .datasets import (
+    DATASET_NAMES,
+    DATASETS,
+    PAPER_STATS,
+    dataset_stats_row,
+    load_dataset,
+    small_dataset,
+)
+from .generators import clustered_graph, dense_graph, power_law_graph
+from .sampling import (
+    SampledSubgraph,
+    induced_subgraph,
+    khop_sampled_subgraph,
+    random_edge_sample,
+)
+from .stats import degree_cv, degree_histogram, neighbor_reuse_factor, summary
+
+__all__ = [
+    "CSRGraph",
+    "GraphValidationError",
+    "coo_to_csr",
+    "csr_to_coo",
+    "DATASET_NAMES",
+    "DATASETS",
+    "PAPER_STATS",
+    "dataset_stats_row",
+    "load_dataset",
+    "small_dataset",
+    "clustered_graph",
+    "SampledSubgraph",
+    "induced_subgraph",
+    "khop_sampled_subgraph",
+    "random_edge_sample",
+    "dense_graph",
+    "power_law_graph",
+    "degree_cv",
+    "degree_histogram",
+    "neighbor_reuse_factor",
+    "summary",
+]

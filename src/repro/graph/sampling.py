@@ -1,0 +1,147 @@
+"""Graph sampling: minibatch neighborhoods and induced subgraphs.
+
+The paper's §5.2 "online and offline improvement analysis" hinges on
+sampling: when "the graph dynamically changes at every iteration when
+graph sampling is applied", the offline analysis (locality-aware
+scheduling) cannot be amortized and only the online optimizations
+(neighbor grouping, adapter, sparse fetching) apply.  This module
+provides the samplers that create those per-iteration graphs:
+
+* :func:`khop_sampled_subgraph` — GraphSAGE-style fixed-fanout k-hop
+  neighborhood expansion from a seed minibatch, returning the induced
+  block graph (what one training iteration aggregates over);
+* :func:`induced_subgraph` — the subgraph on an explicit node set
+  (Cluster-GCN-style partition batches);
+* :func:`random_edge_sample` — GraphSAINT-style edge sampling.
+
+All samplers are seeded and return ordinary :class:`CSRGraph` objects
+plus the node mapping back to the parent graph, so every optimization
+and framework in the library runs on sampled graphs unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from .csr import CSRGraph, coo_to_csr
+
+__all__ = [
+    "SampledSubgraph",
+    "khop_sampled_subgraph",
+    "induced_subgraph",
+    "random_edge_sample",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SampledSubgraph:
+    """A sampled graph plus its mapping into the parent.
+
+    ``node_map[i]`` is the parent node id of subgraph node ``i``; the
+    first ``num_seeds`` subgraph nodes are the seed (output) nodes.
+    """
+
+    graph: CSRGraph
+    node_map: np.ndarray
+    num_seeds: int
+
+    def lift_features(self, parent_feat: np.ndarray) -> np.ndarray:
+        """Slice parent features for the subgraph's nodes."""
+        return parent_feat[self.node_map]
+
+
+def khop_sampled_subgraph(
+    graph: CSRGraph,
+    seeds: np.ndarray,
+    fanouts: Tuple[int, ...],
+    seed: int = 0,
+) -> SampledSubgraph:
+    """Fixed-fanout k-hop neighborhood sampling (GraphSAGE §3.1 style).
+
+    Starting from ``seeds``, each hop samples at most ``fanouts[h]``
+    in-neighbors per frontier node (without replacement when the degree
+    allows).  Returns the subgraph induced on all visited nodes with
+    only the sampled edges, destination-major like the parent.
+    """
+    rng = np.random.default_rng(seed)
+    seeds = np.asarray(seeds, dtype=np.int64)
+    visited = {int(v): i for i, v in enumerate(seeds)}
+    order = list(seeds)
+    src_list, dst_list = [], []
+    frontier = seeds
+    for fanout in fanouts:
+        next_frontier = []
+        for v in frontier:
+            neigh = graph.neighbors(int(v))
+            if neigh.shape[0] == 0:
+                continue
+            if neigh.shape[0] <= fanout:
+                picked = neigh
+            else:
+                picked = rng.choice(neigh, size=fanout, replace=False)
+            for u in picked:
+                u = int(u)
+                if u not in visited:
+                    visited[u] = len(order)
+                    order.append(u)
+                    next_frontier.append(u)
+                src_list.append(visited[u])
+                dst_list.append(visited[int(v)])
+        frontier = np.array(next_frontier, dtype=np.int64)
+        if frontier.size == 0:
+            break
+    node_map = np.array(order, dtype=np.int64)
+    sub = coo_to_csr(
+        np.array(src_list, dtype=np.int64),
+        np.array(dst_list, dtype=np.int64),
+        node_map.shape[0],
+        name=f"{graph.name}:khop",
+    )
+    return SampledSubgraph(sub, node_map, int(seeds.shape[0]))
+
+
+def induced_subgraph(
+    graph: CSRGraph, nodes: np.ndarray
+) -> SampledSubgraph:
+    """Subgraph induced on ``nodes`` (all parent edges between them)."""
+    nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+    lookup = np.full(graph.num_nodes, -1, dtype=np.int64)
+    lookup[nodes] = np.arange(nodes.shape[0])
+    src, dst = [], []
+    for new_v, v in enumerate(nodes):
+        neigh = graph.neighbors(int(v))
+        kept = neigh[lookup[neigh] >= 0]
+        src.append(lookup[kept])
+        dst.append(np.full(kept.shape[0], new_v, dtype=np.int64))
+    sub = coo_to_csr(
+        np.concatenate(src) if src else np.empty(0, np.int64),
+        np.concatenate(dst) if dst else np.empty(0, np.int64),
+        nodes.shape[0],
+        name=f"{graph.name}:induced",
+    )
+    return SampledSubgraph(sub, nodes, int(nodes.shape[0]))
+
+
+def random_edge_sample(
+    graph: CSRGraph, num_edges: int, seed: int = 0
+) -> SampledSubgraph:
+    """GraphSAINT-style edge sampling: keep a uniform random edge set
+    and the subgraph induced on their endpoints."""
+    rng = np.random.default_rng(seed)
+    e = graph.num_edges
+    take = min(num_edges, e)
+    picked = rng.choice(e, size=take, replace=False)
+    picked.sort()
+    src = graph.indices[picked].astype(np.int64)
+    dst = graph.edge_dst()[picked].astype(np.int64)
+    nodes = np.unique(np.concatenate([src, dst]))
+    lookup = np.full(graph.num_nodes, -1, dtype=np.int64)
+    lookup[nodes] = np.arange(nodes.shape[0])
+    sub = coo_to_csr(
+        lookup[src], lookup[dst], nodes.shape[0],
+        name=f"{graph.name}:edges",
+    )
+    return SampledSubgraph(sub, nodes, int(nodes.shape[0]))

@@ -1,0 +1,62 @@
+"""GNN model definitions and reference (framework-independent) forwards."""
+
+from .gat import GATConfig, gat_layer_reference, gat_reference_forward
+from .gat_multihead import (
+    MultiHeadGATConfig,
+    MultiHeadGATParams,
+    multihead_gat_forward,
+    multihead_gat_layer,
+)
+from .generic import AGGREGATORS, GenericLayer
+from .gcn import GCNConfig, gcn_norms, gcn_reference_forward
+from .layers import (
+    EDGE_WEIGHT_OPS,
+    edge_const,
+    edge_cosine,
+    edge_gat,
+    edge_gcn,
+    edge_gene_linear,
+    edge_linear,
+    edge_sym_gat,
+    layer_mean,
+    layer_mlp,
+    layer_pooling,
+    layer_softmax_aggr,
+    layer_sum,
+)
+from .params import GATParams, GCNParams, SageLSTMParams, glorot
+from .sage_lstm import SageLSTMConfig, sage_lstm_reference_forward
+
+__all__ = [
+    "AGGREGATORS",
+    "GenericLayer",
+    "MultiHeadGATConfig",
+    "MultiHeadGATParams",
+    "multihead_gat_forward",
+    "multihead_gat_layer",
+    "GATConfig",
+    "gat_layer_reference",
+    "gat_reference_forward",
+    "GCNConfig",
+    "gcn_norms",
+    "gcn_reference_forward",
+    "EDGE_WEIGHT_OPS",
+    "edge_const",
+    "edge_cosine",
+    "edge_gat",
+    "edge_gcn",
+    "edge_gene_linear",
+    "edge_linear",
+    "edge_sym_gat",
+    "layer_mean",
+    "layer_mlp",
+    "layer_pooling",
+    "layer_softmax_aggr",
+    "layer_sum",
+    "GATParams",
+    "GCNParams",
+    "SageLSTMParams",
+    "glorot",
+    "SageLSTMConfig",
+    "sage_lstm_reference_forward",
+]

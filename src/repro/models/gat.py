@@ -1,0 +1,82 @@
+"""GAT (Velickovic et al. 2018) — reference semantics.
+
+Per layer (single head, as in the paper's evaluation):
+
+.. math::
+   h'_v = \\sum_{u \\to v} \\mathrm{softmax}_v(\\mathrm{leaky\\_relu}
+          (att_u + att_v)) \\cdot (W h_u)
+
+with ``att_u = (W h_u) a_l`` and ``att_v = (W h_v) a_r`` — Equation 2 /
+Listing 1 of the paper.  Frameworks differ only in how they *lower* this
+math (seven kernels in DGL vs. two fused kernels in ours).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..ops.graphops import segment_softmax, u_add_v, u_mul_e_sum
+from ..ops.nnops import leaky_relu, relu
+from .params import GATParams
+
+__all__ = ["GATConfig", "gat_layer_reference", "gat_reference_forward"]
+
+#: Same stacked dimensions as GCN (the paper uses one configuration).
+PAPER_GAT_DIMS: Tuple[int, ...] = (512, 128, 64, 32)
+
+
+@dataclasses.dataclass(frozen=True)
+class GATConfig:
+    dims: Tuple[int, ...] = PAPER_GAT_DIMS
+    negative_slope: float = 0.2
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.dims) - 1
+
+    def params(self, seed: int = 0) -> GATParams:
+        return GATParams.init(self.dims, seed=seed)
+
+
+def gat_layer_reference(
+    graph: CSRGraph,
+    h: np.ndarray,
+    w: np.ndarray,
+    a_l: np.ndarray,
+    a_r: np.ndarray,
+    negative_slope: float = 0.2,
+) -> np.ndarray:
+    """One GAT layer: projection, attention, edge softmax, aggregation."""
+    hw = (h @ w).astype(np.float32)
+    att_src = hw @ a_l  # [N]
+    att_dst = hw @ a_r  # [N]
+    e = u_add_v(graph, att_src, att_dst)          # [E]
+    e = leaky_relu(e, negative_slope)
+    alpha = segment_softmax(graph, e)             # [E]
+    return u_mul_e_sum(graph, hw, alpha).astype(np.float32)
+
+
+def gat_reference_forward(
+    graph: CSRGraph,
+    feat: np.ndarray,
+    params: GATParams,
+    negative_slope: float = 0.2,
+) -> np.ndarray:
+    h = feat
+    last = params.num_layers - 1
+    for li in range(params.num_layers):
+        h = gat_layer_reference(
+            graph,
+            h,
+            params.weights[li],
+            params.att_left[li],
+            params.att_right[li],
+            negative_slope,
+        )
+        if li < last:
+            h = relu(h)
+    return h.astype(np.float32)

@@ -1,0 +1,120 @@
+"""Multi-head GAT (extension beyond the paper's single-head evaluation).
+
+Velickovic et al.'s GAT uses K independent attention heads whose outputs
+are concatenated (hidden layers) or averaged (output layer).  The paper
+evaluates the single-head configuration; multi-head is the natural
+extension and a stress test for the varying-feature-length machinery
+(§2.2.3: "There can be multiple types of features on each node, such as
+hidden feature and attention feature") — per-head widths are rarely
+multiples of 32, which is exactly the case the tuner's lane selection
+exists for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..ops.graphops import segment_softmax, u_add_v, u_mul_e_sum
+from ..ops.nnops import leaky_relu, relu
+from .params import glorot
+
+__all__ = ["MultiHeadGATConfig", "MultiHeadGATParams",
+           "multihead_gat_layer", "multihead_gat_forward"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiHeadGATConfig:
+    """Stacked multi-head GAT: per-layer (head count, per-head width).
+
+    Hidden layers concatenate their heads; the last layer averages them
+    (the original paper's output convention).
+    """
+
+    dims: Tuple[int, ...] = (64, 16, 16, 8)
+    heads: Tuple[int, ...] = (4, 4, 1)
+    negative_slope: float = 0.2
+
+    def __post_init__(self) -> None:
+        if len(self.heads) != len(self.dims) - 1:
+            raise ValueError("need one head count per layer")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.heads)
+
+    def layer_input_width(self, li: int) -> int:
+        if li == 0:
+            return self.dims[0]
+        return self.dims[li] * self.heads[li - 1]
+
+    def params(self, seed: int = 0) -> "MultiHeadGATParams":
+        return MultiHeadGATParams.init(self, seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiHeadGATParams:
+    """Per layer: list over heads of (W, a_l, a_r)."""
+
+    layers: Tuple[Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], ...], ...]
+
+    @staticmethod
+    def init(
+        config: MultiHeadGATConfig, seed: int = 0
+    ) -> "MultiHeadGATParams":
+        rng = np.random.default_rng(seed)
+        layers = []
+        for li in range(config.num_layers):
+            f_in = config.layer_input_width(li)
+            f_out = config.dims[li + 1]
+            heads = []
+            for _ in range(config.heads[li]):
+                heads.append((
+                    glorot(rng, f_in, f_out),
+                    rng.standard_normal(f_out).astype(np.float32) * 0.1,
+                    rng.standard_normal(f_out).astype(np.float32) * 0.1,
+                ))
+            layers.append(tuple(heads))
+        return MultiHeadGATParams(layers=tuple(layers))
+
+
+def multihead_gat_layer(
+    graph: CSRGraph,
+    h: np.ndarray,
+    head_params,
+    negative_slope: float,
+    combine: str,
+) -> np.ndarray:
+    """One layer: run every head independently, then concat or mean."""
+    outs: List[np.ndarray] = []
+    for w, a_l, a_r in head_params:
+        hw = (h @ w).astype(np.float32)
+        e = leaky_relu(
+            u_add_v(graph, hw @ a_l, hw @ a_r), negative_slope
+        )
+        alpha = segment_softmax(graph, e)
+        outs.append(u_mul_e_sum(graph, hw, alpha))
+    if combine == "concat":
+        return np.concatenate(outs, axis=1).astype(np.float32)
+    return np.mean(outs, axis=0).astype(np.float32)
+
+
+def multihead_gat_forward(
+    graph: CSRGraph,
+    feat: np.ndarray,
+    params: MultiHeadGATParams,
+    config: MultiHeadGATConfig,
+) -> np.ndarray:
+    h = feat
+    last = config.num_layers - 1
+    for li, head_params in enumerate(params.layers):
+        combine = "mean" if li == last else "concat"
+        h = multihead_gat_layer(
+            graph, h, head_params, config.negative_slope, combine
+        )
+        if li < last:
+            h = relu(h)
+    return h

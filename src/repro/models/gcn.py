@@ -1,0 +1,72 @@
+"""GCN (Kipf & Welling 2017) — reference semantics.
+
+Layer: ``H' = ReLU(Â (H W))`` with the symmetric normalization
+``e_uv = 1 / sqrt(d_u d_v)`` of Table 2 (degrees are in-degrees of the
+destination-major CSR, clamped to >= 1; self-degree convention is
+documented here once and shared by every framework so outputs agree).
+
+The transform-then-aggregate order (W first when it shrinks the feature)
+matches DGL's GraphConv and is what determines the feature length at
+which aggregation runs — the quantity every locality experiment sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..ops.graphops import copy_u_sum
+from ..ops.nnops import relu
+from .params import GCNParams
+
+__all__ = ["GCNConfig", "gcn_norms", "gcn_reference_forward"]
+
+#: The paper's layer dimensions (footnote 2): 512 input, 128/64 hidden,
+#: 32 output features, three stacked layers.
+PAPER_GCN_DIMS: Tuple[int, ...] = (512, 128, 64, 32)
+
+
+@dataclasses.dataclass(frozen=True)
+class GCNConfig:
+    dims: Tuple[int, ...] = PAPER_GCN_DIMS
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.dims) - 1
+
+    def params(self, seed: int = 0) -> GCNParams:
+        return GCNParams.init(self.dims, seed=seed)
+
+
+def gcn_norms(graph: CSRGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-node ``1/sqrt(d)`` factors: (source-side, destination-side).
+
+    ``e_uv = norm_src[u] * norm_dst[v]``; applying them as two node-level
+    scalings (before and after aggregation) is exactly DGL's lowering and
+    is mathematically identical to per-edge weights.
+    """
+    deg = np.maximum(graph.degrees, 1).astype(np.float32)
+    inv_sqrt = 1.0 / np.sqrt(deg)
+    return inv_sqrt, inv_sqrt
+
+
+def gcn_reference_forward(
+    graph: CSRGraph,
+    feat: np.ndarray,
+    params: GCNParams,
+) -> np.ndarray:
+    """Three(-or-more)-layer GCN forward pass; no activation on the last
+    layer (logits), ReLU in between — the evaluation configuration."""
+    norm_src, norm_dst = gcn_norms(graph)
+    h = feat
+    for li, w in enumerate(params.weights):
+        h = h @ w
+        h = h * norm_src[:, None]
+        h = copy_u_sum(graph, h)
+        h = h * norm_dst[:, None]
+        if li < len(params.weights) - 1:
+            h = relu(h)
+    return h.astype(np.float32)

@@ -1,0 +1,106 @@
+"""Generic GNN layer: any Table 2 edge-weight op x any Table 1 aggregator.
+
+The paper's Tables 1 and 2 catalogue the layer space GNN frameworks must
+support.  :class:`GenericLayer` composes one edge-weight operation with
+one computing layer, giving the library the full operator surface — and
+a stress-test bed for the runtime beyond the three benchmark models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .layers import (
+    EDGE_WEIGHT_OPS,
+    layer_mean,
+    layer_mlp,
+    layer_pooling,
+    layer_softmax_aggr,
+    layer_sum,
+)
+from .params import glorot
+
+__all__ = ["GenericLayer", "AGGREGATORS"]
+
+AGGREGATORS = {
+    "sum": layer_sum,
+    "mean": layer_mean,
+    "pooling": layer_pooling,
+    "mlp": layer_mlp,
+    "softmax_aggr": layer_softmax_aggr,
+}
+
+
+@dataclasses.dataclass
+class GenericLayer:
+    """One configurable GNN layer.
+
+    Parameters
+    ----------
+    edge_op:
+        Name from :data:`repro.models.EDGE_WEIGHT_OPS` (Table 2).
+    aggregator:
+        Name from :data:`AGGREGATORS` (Table 1).
+    f_in / f_out:
+        Feature widths; projection parameters are created as needed.
+    seed:
+        Parameter initialization seed.
+    """
+
+    edge_op: str
+    aggregator: str
+    f_in: int
+    f_out: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.edge_op not in EDGE_WEIGHT_OPS:
+            raise KeyError(f"unknown edge op {self.edge_op!r}")
+        if self.aggregator not in AGGREGATORS:
+            raise KeyError(f"unknown aggregator {self.aggregator!r}")
+        rng = np.random.default_rng(self.seed)
+        self._params: Dict[str, np.ndarray] = {
+            # Scalar projections for gat/sym_gat.
+            "w_l_vec": rng.standard_normal(self.f_in).astype(np.float32)
+            * 0.1,
+            "w_r_vec": rng.standard_normal(self.f_in).astype(np.float32)
+            * 0.1,
+            # Matrix projections for cosine/linear/gene_linear.
+            "w_l_mat": glorot(rng, self.f_in, 8),
+            "w_r_mat": glorot(rng, self.f_in, 8),
+            "w_a": rng.standard_normal(8).astype(np.float32) * 0.1,
+            # Aggregator weights.
+            "w_pool": glorot(rng, self.f_in, self.f_out),
+            "w_mlp1": glorot(rng, self.f_in, self.f_out),
+            "w_mlp2": glorot(rng, self.f_out, self.f_out),
+            "w_out": glorot(rng, self.f_in, self.f_out),
+        }
+
+    # ------------------------------------------------------------------
+    def edge_weights(self, graph: CSRGraph, h: np.ndarray) -> np.ndarray:
+        fn = EDGE_WEIGHT_OPS[self.edge_op]
+        p = self._params
+        if self.edge_op in ("cosine", "gene_linear"):
+            return fn(graph, h, w_l=p["w_l_mat"], w_r=p["w_r_mat"],
+                      w_a=p["w_a"])
+        if self.edge_op == "linear":
+            return fn(graph, h, w_l=p["w_l_mat"])
+        if self.edge_op in ("gat", "sym_gat"):
+            return fn(graph, h, w_l=p["w_l_vec"], w_r=p["w_r_vec"])
+        return fn(graph, h)
+
+    def forward(self, graph: CSRGraph, h: np.ndarray) -> np.ndarray:
+        """Compute the layer output ``[N, f_out]``."""
+        ew = self.edge_weights(graph, h)
+        p = self._params
+        if self.aggregator == "pooling":
+            return AGGREGATORS["pooling"](graph, h, ew, p["w_pool"])
+        if self.aggregator == "mlp":
+            return AGGREGATORS["mlp"](graph, h, ew, p["w_mlp1"],
+                                      p["w_mlp2"])
+        agg = AGGREGATORS[self.aggregator](graph, h, ew)
+        return (agg @ p["w_out"]).astype(np.float32)

@@ -1,0 +1,86 @@
+"""Seeded parameter containers for the three evaluation models."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..ops.lstm import LSTMParams
+
+__all__ = ["GCNParams", "GATParams", "SageLSTMParams", "glorot"]
+
+
+def glorot(rng: np.random.Generator, f_in: int, f_out: int) -> np.ndarray:
+    """Glorot-uniform initialization, float32."""
+    bound = np.sqrt(6.0 / (f_in + f_out))
+    return rng.uniform(-bound, bound, size=(f_in, f_out)).astype(np.float32)
+
+
+@dataclasses.dataclass(frozen=True)
+class GCNParams:
+    """One weight matrix per layer."""
+
+    weights: Tuple[np.ndarray, ...]
+
+    @staticmethod
+    def init(dims: Sequence[int], seed: int = 0) -> "GCNParams":
+        rng = np.random.default_rng(seed)
+        ws = tuple(
+            glorot(rng, dims[i], dims[i + 1]) for i in range(len(dims) - 1)
+        )
+        return GCNParams(weights=ws)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+
+@dataclasses.dataclass(frozen=True)
+class GATParams:
+    """Per layer: feature weight ``W`` and the two attention vectors
+    ``a_l``/``a_r`` (the paper's ``Wl``/``Wr`` attention projections)."""
+
+    weights: Tuple[np.ndarray, ...]
+    att_left: Tuple[np.ndarray, ...]   # [F_out] each
+    att_right: Tuple[np.ndarray, ...]  # [F_out] each
+
+    @staticmethod
+    def init(dims: Sequence[int], seed: int = 0) -> "GATParams":
+        rng = np.random.default_rng(seed)
+        ws: List[np.ndarray] = []
+        al: List[np.ndarray] = []
+        ar: List[np.ndarray] = []
+        for i in range(len(dims) - 1):
+            ws.append(glorot(rng, dims[i], dims[i + 1]))
+            al.append(
+                rng.standard_normal(dims[i + 1]).astype(np.float32) * 0.1
+            )
+            ar.append(
+                rng.standard_normal(dims[i + 1]).astype(np.float32) * 0.1
+            )
+        return GATParams(tuple(ws), tuple(al), tuple(ar))
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+
+@dataclasses.dataclass(frozen=True)
+class SageLSTMParams:
+    """LSTM aggregator weights plus the post-aggregation projection
+    applied to ``concat(h_self, h_neigh)``."""
+
+    lstm: LSTMParams
+    w_out: np.ndarray  # [F_in + H, F_out]
+
+    @staticmethod
+    def init(
+        f_in: int, hidden: int, f_out: int, seed: int = 0
+    ) -> "SageLSTMParams":
+        rng = np.random.default_rng(seed)
+        return SageLSTMParams(
+            lstm=LSTMParams.init(f_in, hidden, seed=seed + 1),
+            w_out=glorot(rng, f_in + hidden, f_out),
+        )

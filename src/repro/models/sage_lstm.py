@@ -1,0 +1,62 @@
+"""GraphSAGE-LSTM (Hamilton et al. 2017) — reference semantics.
+
+One layer (the paper's evaluation uses a single layer with input/output
+feature length 32 and 16 sampled neighbors):
+
+1. sample ``k`` neighbors per center (fixed-size, with replacement);
+2. run an LSTM over the neighbor feature sequence; the final hidden
+   state is the neighborhood representation;
+3. project ``concat(h_self, h_neigh)`` with ``w_out``.
+
+The LSTM aggregation is the center-neighbor neural operation of paper
+Fig. 1/Fig. 6; its execution strategies live in
+:mod:`repro.core.sparse_fetch`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.sparse_fetch import SageStrategy, run_sage_lstm_functional
+from ..graph.csr import CSRGraph
+from .params import SageLSTMParams
+
+__all__ = ["SageLSTMConfig", "sage_lstm_reference_forward"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SageLSTMConfig:
+    """The paper's configuration (footnote 3): F_in = F_out = 32, k = 16."""
+
+    f_in: int = 32
+    hidden: int = 32
+    f_out: int = 32
+    num_neighbors: int = 16
+    sample_seed: int = 0
+
+    def params(self, seed: int = 0) -> SageLSTMParams:
+        return SageLSTMParams.init(
+            self.f_in, self.hidden, self.f_out, seed=seed
+        )
+
+
+def sage_lstm_reference_forward(
+    graph: CSRGraph,
+    feat: np.ndarray,
+    params: SageLSTMParams,
+    config: SageLSTMConfig = SageLSTMConfig(),
+    strategy: SageStrategy = SageStrategy.BASE,
+) -> np.ndarray:
+    """One GraphSAGE-LSTM layer under any execution strategy."""
+    h_neigh = run_sage_lstm_functional(
+        graph,
+        feat,
+        params.lstm,
+        k=config.num_neighbors,
+        strategy=strategy,
+        seed=config.sample_seed,
+    )
+    combined = np.concatenate([feat, h_neigh], axis=1)
+    return (combined @ params.w_out).astype(np.float32)

@@ -1,0 +1,62 @@
+"""Functional operators: graph ops, dense neural ops, LSTM, SpMM."""
+
+from .graphops import (
+    broadcast_dst_to_edges,
+    copy_u_sum,
+    edge_softmax,
+    gather_src,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    u_add_v,
+    u_mul_e_sum,
+)
+from .lstm import (
+    LSTMParams,
+    lstm_cell,
+    lstm_cell_flops,
+    lstm_cell_pre,
+    lstm_over_expanded,
+    lstm_pretransformed,
+)
+from .nnops import (
+    leaky_relu,
+    linear,
+    linear_flops,
+    relu,
+    row_softmax,
+    sigmoid,
+    tanh,
+)
+from .spmm import spmm_bytes, spmm_flops, spmm_scipy, spmm_sum
+
+__all__ = [
+    "broadcast_dst_to_edges",
+    "copy_u_sum",
+    "edge_softmax",
+    "gather_src",
+    "segment_max",
+    "segment_mean",
+    "segment_softmax",
+    "segment_sum",
+    "u_add_v",
+    "u_mul_e_sum",
+    "LSTMParams",
+    "lstm_cell",
+    "lstm_cell_flops",
+    "lstm_cell_pre",
+    "lstm_over_expanded",
+    "lstm_pretransformed",
+    "leaky_relu",
+    "linear",
+    "linear_flops",
+    "relu",
+    "row_softmax",
+    "sigmoid",
+    "tanh",
+    "spmm_bytes",
+    "spmm_flops",
+    "spmm_scipy",
+    "spmm_sum",
+]

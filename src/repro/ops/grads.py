@@ -1,0 +1,123 @@
+"""Vector-Jacobian products (backward passes) for the functional ops.
+
+The paper evaluates forward passes, but any adoptable GNN library must
+train; these VJPs give the reproduction full forward+backward support
+for GCN and GAT (``repro.models.training``).  Every function takes the
+forward inputs (and cached forward values where cheaper) plus the output
+cotangent, and returns input cotangents.  All are vectorized and
+finite-difference-checked in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .graphops import broadcast_dst_to_edges, segment_sum
+
+__all__ = [
+    "linear_vjp",
+    "relu_vjp",
+    "leaky_relu_vjp",
+    "gather_src_vjp",
+    "segment_sum_vjp",
+    "copy_u_sum_vjp",
+    "u_mul_e_sum_vjp",
+    "u_add_v_vjp",
+    "segment_softmax_vjp",
+]
+
+
+def linear_vjp(
+    x: np.ndarray, weight: np.ndarray, g_out: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward of ``x @ weight``: returns (g_x, g_weight)."""
+    return g_out @ weight.T, x.T @ g_out
+
+
+def relu_vjp(x: np.ndarray, g_out: np.ndarray) -> np.ndarray:
+    return g_out * (x > 0)
+
+
+def leaky_relu_vjp(
+    x: np.ndarray, g_out: np.ndarray, negative_slope: float = 0.2
+) -> np.ndarray:
+    return g_out * np.where(x >= 0, 1.0, negative_slope)
+
+
+def gather_src_vjp(graph: CSRGraph, g_out: np.ndarray) -> np.ndarray:
+    """Backward of ``feat[indices]``: scatter-add cotangents to sources."""
+    g_feat = np.zeros(
+        (graph.num_nodes,) + g_out.shape[1:], dtype=g_out.dtype
+    )
+    np.add.at(g_feat, graph.indices, g_out)
+    return g_feat
+
+
+def segment_sum_vjp(graph: CSRGraph, g_out: np.ndarray) -> np.ndarray:
+    """Backward of the per-destination sum: broadcast to edges."""
+    return np.repeat(g_out, graph.degrees, axis=0)
+
+
+def copy_u_sum_vjp(graph: CSRGraph, g_out: np.ndarray) -> np.ndarray:
+    """Backward of ``sum_{u->v} feat[u]`` w.r.t. ``feat``.
+
+    The adjoint of aggregation over a graph is aggregation over the
+    reversed graph: ``g_feat[u] = sum_{u->v} g_out[v]``.
+    """
+    g_feat = np.zeros(
+        (graph.num_nodes,) + g_out.shape[1:], dtype=g_out.dtype
+    )
+    np.add.at(g_feat, graph.indices, g_out[graph.edge_dst()])
+    return g_feat
+
+
+def u_mul_e_sum_vjp(
+    graph: CSRGraph,
+    feat: np.ndarray,
+    edge_weight: np.ndarray,
+    g_out: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward of ``out[v] = sum_{u->v} w_e * feat[u]``.
+
+    Returns ``(g_feat, g_edge_weight)``:
+    ``g_feat[u] = sum_{e: u->v} w_e * g_out[v]`` and
+    ``g_w_e = <feat[u], g_out[v]>``.
+    """
+    dst = graph.edge_dst()
+    g_out_e = g_out[dst]                        # [E, F]
+    w = edge_weight.reshape(-1, *([1] * (feat.ndim - 1)))
+    g_feat = np.zeros_like(feat)
+    np.add.at(g_feat, graph.indices, (w * g_out_e).astype(feat.dtype))
+    feat_e = feat[graph.indices].astype(np.float64)
+    prod = feat_e * g_out_e.astype(np.float64)
+    g_w = prod.reshape(prod.shape[0], -1).sum(axis=1).astype(
+        edge_weight.dtype
+    )
+    return g_feat, g_w
+
+
+def u_add_v_vjp(
+    graph: CSRGraph, g_out: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward of ``u_vals[src] + v_vals[dst]``: returns per-node sums
+    (g_u_vals, g_v_vals)."""
+    n = graph.num_nodes
+    g_u = np.zeros((n,) + g_out.shape[1:], dtype=g_out.dtype)
+    np.add.at(g_u, graph.indices, g_out)
+    g_v = segment_sum(graph, g_out)
+    return g_u, g_v
+
+
+def segment_softmax_vjp(
+    graph: CSRGraph, alpha: np.ndarray, g_alpha: np.ndarray
+) -> np.ndarray:
+    """Backward of the per-destination softmax.
+
+    Standard softmax Jacobian applied segment-wise:
+    ``g_e = alpha_e * (g_alpha_e - sum_seg(alpha * g_alpha))``.
+    """
+    inner = segment_sum(graph, alpha * g_alpha)
+    return alpha * (g_alpha - broadcast_dst_to_edges(graph, inner))

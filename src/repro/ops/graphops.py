@@ -1,0 +1,160 @@
+"""Functional graph operators (the semantics layer).
+
+Every framework model in :mod:`repro.frameworks` computes its outputs with
+these operators, so outputs are bit-comparable across DGL-like, PyG-like
+and our runtime — mirroring the paper's statement that the optimizations
+"do not alter the semantics of the models".
+
+Conventions: graphs are destination-major CSR (:class:`repro.graph.CSRGraph`);
+``feat`` matrices are ``float32[N, F]``; per-edge tensors are aligned with
+positional CSR edge ids.  All operators are vectorized numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "gather_src",
+    "segment_sum",
+    "segment_max",
+    "segment_mean",
+    "segment_softmax",
+    "copy_u_sum",
+    "u_add_v",
+    "u_mul_e_sum",
+    "edge_softmax",
+    "broadcast_dst_to_edges",
+]
+
+
+def _segments(graph: CSRGraph) -> np.ndarray:
+    """Destination id of each positional edge."""
+    return np.repeat(
+        np.arange(graph.num_nodes, dtype=np.int64), graph.degrees
+    )
+
+
+def gather_src(graph: CSRGraph, feat: np.ndarray) -> np.ndarray:
+    """Expand source features along edges: ``out[e] = feat[indices[e]]``.
+
+    This is PyG's "index select by source index" (Fig. 2, step 1) — the
+    [E, F] expansion whose footprint Observation 1 criticizes.
+    """
+    return feat[graph.indices]
+
+
+def broadcast_dst_to_edges(graph: CSRGraph, per_node: np.ndarray) -> np.ndarray:
+    """``out[e] = per_node[dst(e)]`` (DGL's ``broadcast_edge``)."""
+    return np.repeat(per_node, graph.degrees, axis=0)
+
+
+def segment_sum(
+    graph: CSRGraph, edge_vals: np.ndarray, num_segments: int | None = None
+) -> np.ndarray:
+    """Sum per-edge values into their destination nodes.
+
+    ``edge_vals`` is ``[E]`` or ``[E, F]``; the result is ``[N]`` or
+    ``[N, F]`` (zeros for isolated nodes).
+    """
+    n = num_segments if num_segments is not None else graph.num_nodes
+    seg = _segments(graph)
+    if edge_vals.ndim == 1:
+        out = np.zeros(n, dtype=edge_vals.dtype)
+        np.add.at(out, seg, edge_vals)
+        return out
+    out = np.zeros((n,) + edge_vals.shape[1:], dtype=edge_vals.dtype)
+    np.add.at(out, seg, edge_vals)
+    return out
+
+
+def segment_max(graph: CSRGraph, edge_vals: np.ndarray) -> np.ndarray:
+    """Max-reduce per-edge values into destinations.
+
+    Isolated nodes get ``-inf`` (callers mask them), matching DGL's
+    behaviour of leaving untouched rows at the identity of the reducer.
+    """
+    n = graph.num_nodes
+    shape = (n,) + edge_vals.shape[1:]
+    out = np.full(shape, -np.inf, dtype=edge_vals.dtype)
+    np.maximum.at(out, _segments(graph), edge_vals)
+    return out
+
+
+def segment_mean(graph: CSRGraph, edge_vals: np.ndarray) -> np.ndarray:
+    """Mean-reduce per-edge values into destinations (0 for isolated)."""
+    total = segment_sum(graph, edge_vals)
+    deg = graph.degrees.astype(edge_vals.dtype)
+    deg = np.maximum(deg, 1)
+    if edge_vals.ndim == 1:
+        return total / deg
+    return total / deg[:, None]
+
+
+def copy_u_sum(graph: CSRGraph, feat: np.ndarray) -> np.ndarray:
+    """``out[v] = sum_{u->v} feat[u]`` — the SpMM with all-ones weights.
+
+    Implemented row-contiguously with ``np.add.reduceat`` over the gathered
+    edge features, which is the numpy analogue of cuSPARSE's row-major
+    csrmm traversal.
+    """
+    if graph.num_edges == 0:
+        return np.zeros((graph.num_nodes,) + feat.shape[1:], feat.dtype)
+    edge_feat = feat[graph.indices]
+    return _reduceat_rows(graph, edge_feat)
+
+
+def _reduceat_rows(graph: CSRGraph, edge_vals: np.ndarray) -> np.ndarray:
+    """Row-wise sum of positional edge values using reduceat semantics."""
+    starts = graph.indptr[:-1]
+    nonempty = graph.degrees > 0
+    out = np.zeros((graph.num_nodes,) + edge_vals.shape[1:], edge_vals.dtype)
+    if not nonempty.any():
+        return out
+    # reduceat needs strictly valid start offsets; compute on non-empty rows
+    # and scatter back.  Empty rows keep the 0 identity.
+    red = np.add.reduceat(edge_vals, starts[nonempty], axis=0)
+    out[nonempty] = red
+    return out
+
+
+def u_add_v(
+    graph: CSRGraph, u_vals: np.ndarray, v_vals: np.ndarray
+) -> np.ndarray:
+    """Per-edge ``u_vals[src(e)] + v_vals[dst(e)]`` (DGL's ``u_add_v``)."""
+    return u_vals[graph.indices] + np.repeat(v_vals, graph.degrees, axis=0)
+
+
+def u_mul_e_sum(
+    graph: CSRGraph, feat: np.ndarray, edge_weight: np.ndarray
+) -> np.ndarray:
+    """Weighted aggregation ``out[v] = sum_{u->v} w_e * feat[u]``.
+
+    This is the generalized SpMM at the heart of GCN/GAT aggregation.
+    ``edge_weight`` is ``[E]`` or ``[E, 1]``.
+    """
+    w = edge_weight.reshape(-1, *([1] * (feat.ndim - 1)))
+    edge_feat = feat[graph.indices] * w
+    return _reduceat_rows(graph, edge_feat)
+
+
+def segment_softmax(graph: CSRGraph, edge_vals: np.ndarray) -> np.ndarray:
+    """Numerically-stable softmax of per-edge scalars over each dst segment.
+
+    The classic three-pass edge softmax (max, exp-sum, divide) that DGL's
+    GAT uses (Listing 1 lines 6–9; DGL omits the max pass, we keep it for
+    stability — it does not change which kernels exist, only constants).
+    """
+    seg_max = segment_max(graph, edge_vals)
+    seg_max = np.where(np.isneginf(seg_max), 0.0, seg_max)
+    shifted = edge_vals - np.repeat(seg_max, graph.degrees, axis=0)
+    exp = np.exp(shifted)
+    denom = segment_sum(graph, exp)
+    denom = np.where(denom == 0.0, 1.0, denom)
+    return exp / np.repeat(denom, graph.degrees, axis=0)
+
+
+# Alias matching the paper's terminology.
+edge_softmax = segment_softmax

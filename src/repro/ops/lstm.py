@@ -1,0 +1,140 @@
+"""LSTM cell and neighbor-sequence LSTM for GraphSAGE-LSTM.
+
+GraphSAGE's LSTM aggregator (Table 1, Hamilton et al. 2017) runs an LSTM
+over the (sampled) neighbor features of every center node and uses the
+final hidden state as the aggregated neighborhood representation.
+
+Two mathematically-identical execution strategies live here:
+
+* :func:`lstm_over_expanded` — the *base* strategy (DGL, paper Fig. 6
+  yellow box): first expand neighbor features to a dense ``[N, k, F]``
+  tensor (the *expansion* step of Table 5), then run the input-side
+  transformation ``x_t @ W`` inside every cell (the *transformation* step).
+* :func:`lstm_pretransformed` — the paper's optimized strategy (Fig. 6 red
+  box): transform the ``[N, F]`` feature matrix once (*redundancy
+  bypassing*), then *sparse-fetch* per-cell rows via the neighbor index.
+
+Both return identical outputs; tests enforce it.  The gate layout is
+``[i, f, z(g), o]`` concatenated along the output dimension.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .nnops import sigmoid, tanh
+
+__all__ = [
+    "LSTMParams",
+    "lstm_cell",
+    "lstm_cell_pre",
+    "lstm_over_expanded",
+    "lstm_pretransformed",
+    "lstm_cell_flops",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LSTMParams:
+    """Weights of one LSTM layer.
+
+    ``w_ih``: ``[F_in, 4H]`` input transformation (the paper's
+    ``Wf/Wo/Wz/Wi`` stacked); ``w_hh``: ``[H, 4H]`` recurrent
+    transformation (``Rf/Ro/Rz/Ri``); ``bias``: ``[4H]``.
+    """
+
+    w_ih: np.ndarray
+    w_hh: np.ndarray
+    bias: np.ndarray
+
+    @property
+    def hidden_size(self) -> int:
+        return self.w_hh.shape[0]
+
+    @staticmethod
+    def init(f_in: int, hidden: int, seed: int = 0) -> "LSTMParams":
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(max(hidden, 1))
+        return LSTMParams(
+            w_ih=(rng.standard_normal((f_in, 4 * hidden)) * scale).astype(
+                np.float32
+            ),
+            w_hh=(rng.standard_normal((hidden, 4 * hidden)) * scale).astype(
+                np.float32
+            ),
+            bias=np.zeros(4 * hidden, dtype=np.float32),
+        )
+
+
+def _gates(pre: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray,
+           params: LSTMParams):
+    """Shared element-wise tail of the cell given pre-activation inputs."""
+    hidden = params.hidden_size
+    z = pre + h_prev @ params.w_hh + params.bias
+    i = sigmoid(z[:, :hidden])
+    f = sigmoid(z[:, hidden : 2 * hidden])
+    g = tanh(z[:, 2 * hidden : 3 * hidden])
+    o = sigmoid(z[:, 3 * hidden :])
+    c = f * c_prev + i * g
+    h = o * tanh(c)
+    return h.astype(np.float32), c.astype(np.float32)
+
+
+def lstm_cell(x, h_prev, c_prev, params: LSTMParams):
+    """One LSTM step: transform ``x`` then apply the gate equations."""
+    return _gates(x @ params.w_ih, h_prev, c_prev, params)
+
+
+def lstm_cell_pre(x_pre, h_prev, c_prev, params: LSTMParams):
+    """One LSTM step on *pre-transformed* input (``x @ w_ih`` done ahead)."""
+    return _gates(x_pre, h_prev, c_prev, params)
+
+
+def lstm_over_expanded(
+    neighbor_feat: np.ndarray, params: LSTMParams
+) -> np.ndarray:
+    """Run the LSTM over an expanded ``[N, k, F]`` neighbor tensor.
+
+    Every cell ``t`` transforms ``neighbor_feat[:, t, :]`` with ``w_ih`` —
+    the O(E)-transformation redundancy the paper's Observation 4 measures.
+    Returns the final hidden state ``[N, H]``.
+    """
+    n, k, _ = neighbor_feat.shape
+    hidden = params.hidden_size
+    h = np.zeros((n, hidden), dtype=np.float32)
+    c = np.zeros((n, hidden), dtype=np.float32)
+    for t in range(k):
+        h, c = lstm_cell(neighbor_feat[:, t, :], h, c, params)
+    return h
+
+
+def lstm_pretransformed(
+    feat: np.ndarray, neighbor_index: np.ndarray, params: LSTMParams
+) -> np.ndarray:
+    """Sparse-fetching + redundancy-bypassing execution (paper §4.3).
+
+    ``feat`` is the ``[N, F]`` node feature matrix, ``neighbor_index`` is
+    ``int[N, k]`` (the sampled neighbors of each center).  The input
+    transformation is applied **once** to the O(N) feature matrix; each
+    cell then gathers (sparse-fetches) the pre-transformed rows it needs.
+    """
+    pre = (feat @ params.w_ih).astype(np.float32)
+    n, k = neighbor_index.shape
+    hidden = params.hidden_size
+    h = np.zeros((n, hidden), dtype=np.float32)
+    c = np.zeros((n, hidden), dtype=np.float32)
+    for t in range(k):
+        h, c = lstm_cell_pre(pre[neighbor_index[:, t]], h, c, params)
+    return h
+
+
+def lstm_cell_flops(rows: int, f_in: int, hidden: int,
+                    include_input_transform: bool = True) -> int:
+    """FLOPs of one LSTM cell over ``rows`` sequences."""
+    flops = 2 * rows * hidden * 4 * hidden  # recurrent matmul
+    if include_input_transform:
+        flops += 2 * rows * f_in * 4 * hidden
+    flops += rows * hidden * 9  # element-wise gate math
+    return flops

@@ -1,0 +1,62 @@
+"""Dense neural operators (numpy, float32).
+
+These are the "neural operation" half of GNN layers: linear transforms,
+activations and row softmax.  They are deliberately thin wrappers so the
+framework models can attribute FLOPs/bytes to them uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "linear",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "row_softmax",
+    "linear_flops",
+]
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """``x @ weight (+ bias)`` with ``weight`` shaped ``[F_in, F_out]``."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def linear_flops(rows: int, f_in: int, f_out: int) -> int:
+    """FLOPs of a dense ``[rows, f_in] @ [f_in, f_out]`` multiply-add."""
+    return 2 * rows * f_in * f_out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def leaky_relu(x: np.ndarray, negative_slope: float = 0.2) -> np.ndarray:
+    return np.where(x >= 0.0, x, negative_slope * x)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    # Stable piecewise formulation avoids overflow warnings on float32.
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def row_softmax(x: np.ndarray) -> np.ndarray:
+    """Softmax along the last axis (numerically stable)."""
+    shifted = x - x.max(axis=-1, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=-1, keepdims=True)

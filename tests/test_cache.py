@@ -1,0 +1,176 @@
+"""Tests for the L2 cache models (window approximation vs exact LRU)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.cache import (
+    effective_window,
+    estimate_distinct_in_window,
+    hit_mask,
+    lru_hits,
+    previous_occurrence,
+    reuse_distances,
+    window_hits,
+)
+
+
+class TestPreviousOccurrence:
+    def test_basic(self):
+        stream = np.array([3, 1, 3, 3, 1])
+        assert previous_occurrence(stream).tolist() == [-1, -1, 0, 2, 1]
+
+    def test_all_distinct(self):
+        assert previous_occurrence(np.arange(5)).tolist() == [-1] * 5
+
+    def test_all_same(self):
+        assert previous_occurrence(np.zeros(4, int)).tolist() == [
+            -1, 0, 1, 2,
+        ]
+
+    def test_empty(self):
+        assert previous_occurrence(np.array([], int)).shape == (0,)
+
+
+def naive_lru(stream, capacity):
+    """Reference LRU simulation."""
+    from collections import OrderedDict
+
+    cache = OrderedDict()
+    hits = []
+    for x in stream:
+        if x in cache:
+            cache.move_to_end(x)
+            hits.append(True)
+        else:
+            hits.append(False)
+            cache[x] = True
+            if len(cache) > capacity:
+                cache.popitem(last=False)
+    return np.array(hits)
+
+
+class TestExactLRU:
+    def test_reuse_distances_basic(self):
+        # a b a c b a -> distances: -1 -1 1 -1 2 2
+        stream = np.array([0, 1, 0, 2, 1, 0])
+        assert reuse_distances(stream).tolist() == [-1, -1, 1, -1, 2, 2]
+
+    @given(
+        st.lists(st.integers(0, 9), min_size=1, max_size=120),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lru_hits_match_naive_simulation(self, raw, capacity):
+        stream = np.array(raw)
+        assert np.array_equal(
+            lru_hits(stream, capacity), naive_lru(stream, capacity)
+        )
+
+    def test_full_capacity_only_cold_misses(self):
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 50, size=400)
+        hits = lru_hits(stream, 50)
+        distinct = np.unique(stream).shape[0]
+        assert (~hits).sum() == distinct
+
+
+class TestWindowModel:
+    def test_capacity_monotonicity(self):
+        rng = np.random.default_rng(1)
+        stream = rng.integers(0, 200, size=3000)
+        small = window_hits(stream, 10).sum()
+        big = window_hits(stream, 150).sum()
+        assert big >= small
+
+    def test_first_touch_always_misses(self):
+        rng = np.random.default_rng(2)
+        stream = rng.integers(0, 40, size=500)
+        hits = window_hits(stream, 1000)
+        firsts = previous_occurrence(stream) < 0
+        assert not hits[firsts].any()
+
+    def test_everything_fits(self):
+        stream = np.array([0, 1, 0, 1, 2, 0])
+        hits = window_hits(stream, 100)
+        # All non-first accesses hit when the working set fits.
+        assert hits.tolist() == [False, False, True, True, False, True]
+
+    def test_explicit_window(self):
+        stream = np.array([0, 1, 2, 0])
+        assert window_hits(stream, 10, window=2).tolist() == [
+            False, False, False, False,
+        ]
+        assert window_hits(stream, 10, window=3).tolist() == [
+            False, False, False, True,
+        ]
+
+    def test_empty_stream(self):
+        assert window_hits(np.array([], int), 8).shape == (0,)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(4, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_window_tracks_exact_lru_rate(self, seed, capacity):
+        """The approximation's hit *rate* stays close to exact LRU."""
+        rng = np.random.default_rng(seed)
+        # Mixture stream: hot set + uniform tail (graph-like reuse).
+        hot = rng.integers(0, max(2, capacity // 2), size=600)
+        cold = rng.integers(0, 400, size=600)
+        take_hot = rng.random(600) < 0.5
+        stream = np.where(take_hot, hot, cold + 1000)
+        approx = window_hits(stream, capacity).mean()
+        exact = lru_hits(stream, capacity).mean()
+        assert abs(approx - exact) < 0.25
+
+    def test_ordering_sensitivity(self):
+        """Clustered order must hit more than shuffled order — the
+        property every scheduling experiment relies on."""
+        rng = np.random.default_rng(3)
+        # 64 groups of 32 accesses to a per-group pool of 8 rows.
+        groups = [
+            rng.integers(0, 8, size=32) + 8 * g for g in range(64)
+        ]
+        clustered = np.concatenate(groups)
+        shuffled = clustered.copy()
+        rng.shuffle(shuffled)
+        cap = 16
+        assert (
+            window_hits(clustered, cap).mean()
+            > window_hits(shuffled, cap).mean() + 0.2
+        )
+
+
+class TestEffectiveWindow:
+    def test_distinct_estimator_exact_on_uniform(self):
+        stream = np.tile(np.arange(20), 50)  # period 20
+        prev = previous_occurrence(stream)
+        est = estimate_distinct_in_window(prev, 20)
+        assert est == pytest.approx(20, rel=0.15)
+
+    def test_whole_stream_fits(self):
+        stream = np.tile(np.arange(5), 100)
+        assert effective_window(stream, 10) == stream.shape[0]
+
+    def test_window_shrinks_with_capacity(self):
+        rng = np.random.default_rng(4)
+        stream = rng.integers(0, 5000, size=20000)
+        w_small = effective_window(stream, 16)
+        w_big = effective_window(stream, 512)
+        assert w_small < w_big
+
+
+class TestDispatch:
+    def test_hit_mask_window(self):
+        stream = np.array([0, 0, 0])
+        assert hit_mask(stream, 4, "window").tolist() == [
+            False, True, True,
+        ]
+
+    def test_hit_mask_lru(self):
+        stream = np.array([0, 0, 0])
+        assert hit_mask(stream, 4, "lru").tolist() == [False, True, True]
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            hit_mask(np.array([0]), 4, "plru")

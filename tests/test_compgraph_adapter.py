@@ -1,0 +1,139 @@
+"""Tests for the computation-graph IR and the visible-range adapter."""
+
+import pytest
+
+from repro.core import (
+    Op,
+    OpKind,
+    VisibleRange,
+    gat_attention_ops,
+    gcn_layer_ops,
+    plan_fusion,
+    unfused_plan,
+)
+
+
+class TestIR:
+    def test_gat_chain_is_listing1(self):
+        ops = gat_attention_ops()
+        assert [o.name for o in ops] == [
+            "u_add_v", "leaky_relu", "exp", "seg_sum", "bcast", "div",
+            "aggregate",
+        ]
+
+    def test_div_is_linear(self):
+        ops = {o.name: o for o in gat_attention_ops()}
+        assert ops["div"].linear
+
+    def test_natural_scopes(self):
+        seg = Op("s", OpKind.SEG_REDUCE, "N1")
+        assert seg.natural_scope(grouped=False) == VisibleRange.BLOCK
+        assert seg.natural_scope(grouped=True) == VisibleRange.GLOBAL
+        emap = Op("e", OpKind.EDGE_MAP, "E1")
+        assert emap.natural_scope(grouped=True) == VisibleRange.THREAD
+
+
+class TestUnfused:
+    def test_one_kernel_per_op(self):
+        plan = unfused_plan(gat_attention_ops())
+        assert plan.num_kernels == 7
+        assert all(len(g.ops) == 1 for g in plan.groups)
+
+    def test_adapter_off_equals_unfused(self):
+        plan = plan_fusion(gat_attention_ops(), allow_adapter=False)
+        assert plan.num_kernels == 7
+
+
+class TestAdapterGAT:
+    def test_adapter_fuses_to_two_kernels(self):
+        plan = plan_fusion(
+            gat_attention_ops(), allow_adapter=True, grouped=True
+        )
+        assert plan.num_kernels == 2
+        assert plan.groups[0].names == (
+            "u_add_v", "leaky_relu", "exp", "seg_sum",
+        )
+        assert plan.groups[1].names == ("bcast", "div", "aggregate")
+
+    def test_linear_property_postpones_normalization(self):
+        plan = plan_fusion(
+            gat_attention_ops(), allow_adapter=True, allow_linear=True,
+            grouped=True,
+        )
+        assert plan.num_kernels == 2
+        agg_group = plan.groups[1]
+        assert agg_group.names == ("aggregate",)
+        assert [o.name for o in agg_group.postponed] == ["bcast", "div"]
+
+    def test_op_conservation(self):
+        """Fusion never drops or duplicates an op."""
+        for linear in (False, True):
+            plan = plan_fusion(
+                gat_attention_ops(), allow_adapter=True,
+                allow_linear=linear, grouped=True,
+            )
+            names = []
+            for g in plan.groups:
+                names.extend(o.name for o in g.ops)
+                names.extend(o.name for o in g.postponed)
+            assert sorted(names) == sorted(
+                o.name for o in gat_attention_ops()
+            )
+
+    def test_seg_reduce_output_not_consumed_in_same_kernel(self):
+        """A consumer of a reduction's output must be in a later group."""
+        plan = plan_fusion(
+            gat_attention_ops(), allow_adapter=True, grouped=True
+        )
+        for gi, group in enumerate(plan.groups):
+            names = group.names
+            if "seg_sum" in names:
+                assert "bcast" not in names
+
+
+class TestAdapterGCN:
+    def test_adapter_only(self):
+        plan = plan_fusion(
+            gcn_layer_ops(), allow_adapter=True, allow_linear=False
+        )
+        # norm_src fuses into aggregate; norm_dst needs the result.
+        assert plan.num_kernels == 2
+
+    def test_adapter_plus_linear_single_kernel(self):
+        plan = plan_fusion(
+            gcn_layer_ops(), allow_adapter=True, allow_linear=True
+        )
+        assert plan.num_kernels == 1
+        assert plan.groups[0].names == (
+            "norm_src", "aggregate", "norm_dst",
+        )
+
+    def test_unfused_three_kernels(self):
+        assert plan_fusion(
+            gcn_layer_ops(), allow_adapter=False
+        ).num_kernels == 3
+
+
+class TestDescribe:
+    def test_describe_mentions_postponed(self):
+        plan = plan_fusion(
+            gat_attention_ops(), allow_adapter=True, allow_linear=True,
+            grouped=True,
+        )
+        desc = plan.describe()
+        assert "post:" in desc and "aggregate" in desc
+
+    def test_trailing_postponed_without_aggregate(self):
+        """Postponed ops with no following aggregate still execute."""
+        ops = [
+            Op("e", OpKind.EDGE_MAP, "E1"),
+            Op("seg", OpKind.SEG_REDUCE, "N1"),
+            Op("bcast", OpKind.BCAST, "E1"),
+            Op("div", OpKind.EDGE_DIV, "E1", linear=True),
+        ]
+        plan = plan_fusion(ops, allow_adapter=True, allow_linear=True)
+        names = []
+        for g in plan.groups:
+            names.extend(o.name for o in g.ops)
+            names.extend(o.name for o in g.postponed)
+        assert sorted(names) == sorted(o.name for o in ops)

@@ -1,0 +1,81 @@
+"""Fast unit tests of the bench experiment functions (small subsets).
+
+The heavy full-dataset runs live in benchmarks/; here we verify the
+experiment machinery itself on the cheapest datasets.
+"""
+
+import pytest
+
+from repro.bench import (
+    fig3_l2_miss_rates,
+    fig4_throughput_sweep,
+    fig8_ng_balance,
+    fig9_l2_hit_rates,
+    fig10_adapter,
+    fig11_sage_strategies,
+    table4_occupancy,
+    table5_expansion_transform,
+    table6_gat_ablation,
+)
+
+SMALL = ["ddi"]
+
+
+class TestExperimentFunctions:
+    def test_fig3_structure(self):
+        res = fig3_l2_miss_rates(SMALL)
+        miss, cusparse = res["ddi"]
+        assert 0.0 <= miss <= 1.0
+        assert cusparse is True
+
+    def test_table4_structure(self):
+        res = table4_occupancy(SMALL)
+        occ = res["ddi"]
+        assert set(occ) == {1.0, 0.5, 0.1}
+        assert all(0.0 <= v <= 100.0 for v in occ.values())
+
+    def test_table5_structure(self):
+        res = table5_expansion_transform(SMALL)
+        exp, trans = res["ddi"]
+        assert exp > 0 and trans > 0
+        assert exp + trans < 100.0
+
+    def test_fig4_structure(self):
+        res = fig4_throughput_sweep(SMALL, [16, 32])
+        assert set(res["ddi"]) == {16, 32}
+        assert all(v > 0 for v in res["ddi"].values())
+
+    def test_fig4_tuned_never_much_worse(self):
+        feats = [16, 48]
+        untuned = fig4_throughput_sweep(SMALL, feats, tuned=False)
+        tuned = fig4_throughput_sweep(SMALL, feats, tuned=True)
+        for f in feats:
+            assert tuned["ddi"][f] >= 0.9 * untuned["ddi"][f]
+
+    def test_fig8_structure(self):
+        res = fig8_ng_balance(SMALL)
+        r = res["ddi"]
+        assert r["base_actual"] == 1.0
+        assert r["base_balanced"] <= 1.0 + 1e-9
+
+    def test_fig9_structure(self):
+        res = fig9_l2_hit_rates(SMALL)
+        assert set(res["ddi"]) == {"best_prior", "ng", "las", "ng_las"}
+
+    def test_fig10_normalization(self):
+        res = fig10_adapter("gat", SMALL)
+        assert res["ddi"]["base"] == 1.0
+        assert res["ddi"]["adapter_linear"] <= res["ddi"]["adapter"] + 1e-9
+
+    def test_fig10_rejects_unknown_model(self):
+        with pytest.raises(AssertionError):
+            fig10_adapter("transformer", SMALL)
+
+    def test_fig11_ordering(self):
+        res = fig11_sage_strategies(SMALL)
+        r = res["ddi"]
+        assert r["redbypass"] < r["base"]
+
+    def test_table6_speedups_positive(self):
+        res = table6_gat_ablation(SMALL)
+        assert all(v > 0 for v in res["ddi"].values())

@@ -1,0 +1,125 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    clustered_graph,
+    csr_to_coo,
+    dense_graph,
+    power_law_graph,
+)
+
+
+class TestPowerLaw:
+    def test_deterministic(self):
+        a = power_law_graph(500, 8.0, seed=1)
+        b = power_law_graph(500, 8.0, seed=1)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_seed_changes_graph(self):
+        a = power_law_graph(500, 8.0, seed=1)
+        b = power_law_graph(500, 8.0, seed=2)
+        assert not (
+            a.num_edges == b.num_edges
+            and np.array_equal(a.indices, b.indices)
+        )
+
+    def test_avg_degree_approximate(self):
+        g = power_law_graph(2000, 10.0, seed=3)
+        # Dedupe loses some edges; stay within a sane band.
+        assert 5.0 <= g.avg_degree <= 11.0
+
+    def test_max_degree_cap(self):
+        g = power_law_graph(2000, 10.0, max_degree=64, seed=4)
+        assert g.max_degree <= 64
+
+    def test_heavier_tail_with_smaller_exponent(self):
+        light = power_law_graph(3000, 10.0, exponent=3.5, seed=5)
+        heavy = power_law_graph(3000, 10.0, exponent=1.8, seed=5)
+        assert heavy.max_degree > light.max_degree
+
+    def test_no_self_loops(self):
+        g = power_law_graph(400, 6.0, seed=6)
+        src, dst = csr_to_coo(g)
+        assert not np.any(src == dst)
+
+    def test_no_duplicate_edges(self):
+        g = power_law_graph(400, 6.0, seed=7)
+        src, dst = csr_to_coo(g)
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert len(pairs) == g.num_edges
+
+    def test_community_locality_creates_neighbor_overlap(self):
+        """Same-community centers share neighbors (what LAS clusters on)."""
+        g = power_law_graph(
+            2000, 12.0, locality=0.9, shuffle=False, seed=8
+        )
+        from repro.core import exact_jaccard
+
+        # Adjacent (same-window, unshuffled) nodes overlap far more than
+        # random node pairs.
+        rng = np.random.default_rng(0)
+        near = np.mean(
+            [exact_jaccard(g, v, v + 1) for v in range(0, 600, 7)]
+        )
+        far = np.mean(
+            [
+                exact_jaccard(
+                    g, int(rng.integers(1000)), int(rng.integers(1000, 2000))
+                )
+                for _ in range(80)
+            ]
+        )
+        assert near > 5 * max(far, 1e-6)
+
+    def test_shuffle_destroys_natural_order_locality(self):
+        from repro.core import exact_jaccard
+
+        g = power_law_graph(2000, 12.0, locality=0.9, shuffle=True, seed=8)
+        near = np.mean(
+            [exact_jaccard(g, v, v + 1) for v in range(0, 600, 7)]
+        )
+        assert near < 0.15
+
+
+class TestClustered:
+    def test_deterministic(self):
+        a = clustered_graph(800, 20.0, seed=9)
+        b = clustered_graph(800, 20.0, seed=9)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_low_degree_variance(self):
+        g = clustered_graph(2000, 30.0, seed=10)
+        cv = g.degrees.std() / g.degrees.mean()
+        assert cv < 0.5  # Poisson-narrow, like protein
+
+    def test_intra_community_fraction(self):
+        n, k = 2000, 8
+        g = clustered_graph(
+            n, 20.0, num_communities=k, intra_prob=0.9, seed=11
+        )
+        # Communities are contiguous windows; same community ~= close ids.
+        src, dst = csr_to_coo(g)
+        # Estimate: fraction of edges whose endpoints are within 2x the
+        # average community span.
+        close = np.abs(src - dst) < 2 * (n // k)
+        assert close.mean() > 0.7
+
+
+class TestDense:
+    def test_density(self):
+        g = dense_graph(500, 0.08, seed=12)
+        assert g.density == pytest.approx(0.08, rel=0.05)
+
+    def test_deterministic(self):
+        a = dense_graph(300, 0.1, seed=13)
+        b = dense_graph(300, 0.1, seed=13)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_no_self_loops_or_duplicates(self):
+        g = dense_graph(300, 0.1, seed=14)
+        src, dst = csr_to_coo(g)
+        assert not np.any(src == dst)
+        assert len(set(zip(src.tolist(), dst.tolist()))) == g.num_edges

@@ -1,0 +1,104 @@
+"""Tests for neighbor grouping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import identity_grouping, neighbor_grouping
+from repro.graph import coo_to_csr, power_law_graph, small_dataset
+
+
+class TestNeighborGrouping:
+    def test_bound_respected(self):
+        g = small_dataset()
+        plan = neighbor_grouping(g, 16)
+        assert plan.group_sizes.max() <= 16
+        plan.validate(g)
+
+    def test_coverage(self):
+        g = small_dataset()
+        plan = neighbor_grouping(g, 8)
+        assert plan.group_ptr[-1] == g.num_edges
+        per_center = np.bincount(
+            plan.group_center,
+            weights=plan.group_sizes,
+            minlength=g.num_nodes,
+        )
+        assert np.array_equal(per_center.astype(int), g.degrees)
+
+    def test_group_counts(self):
+        src = np.repeat(np.arange(1, 11), 1)  # node 0 gets 10 neighbors
+        dst = np.zeros(10, dtype=int)
+        g = coo_to_csr(src, dst, 11)
+        plan = neighbor_grouping(g, 4)
+        groups0 = (plan.group_center == 0).sum()
+        assert groups0 == 3  # 4 + 4 + 2
+
+    def test_last_group_remainder(self):
+        src = np.arange(1, 11)
+        dst = np.zeros(10, dtype=int)
+        g = coo_to_csr(src, dst, 11)
+        plan = neighbor_grouping(g, 4)
+        sizes0 = plan.group_sizes[plan.group_center == 0]
+        assert sizes0.tolist() == [4, 4, 2]
+
+    def test_atomics_only_for_split_centers(self):
+        src = np.concatenate([np.arange(1, 11), [0]])
+        dst = np.concatenate([np.zeros(10, int), [1]])
+        g = coo_to_csr(src, dst, 11)
+        plan = neighbor_grouping(g, 4)
+        assert plan.needs_atomic[plan.group_center == 0].all()
+        assert not plan.needs_atomic[plan.group_center == 1].any()
+
+    def test_empty_center_keeps_one_group(self):
+        g = coo_to_csr(np.array([0]), np.array([1]), 4)
+        plan = neighbor_grouping(g, 4)
+        # Every node owns at least one (possibly empty) group.
+        assert set(plan.group_center.tolist()) == {0, 1, 2, 3}
+
+    def test_bound_validation(self):
+        g = small_dataset()
+        with pytest.raises(ValueError):
+            neighbor_grouping(g, 0)
+
+    def test_groups_of_center_consecutive(self):
+        g = small_dataset()
+        plan = neighbor_grouping(g, 8)
+        # group_center must be non-decreasing (CSR split in place).
+        assert np.all(np.diff(plan.group_center) >= 0)
+
+    def test_bound_one_gives_edge_granularity(self):
+        g = small_dataset()
+        plan = neighbor_grouping(g, 1)
+        nonempty = plan.group_sizes > 0
+        assert (plan.group_sizes[nonempty] == 1).all()
+        assert plan.num_groups >= g.num_edges
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_property(self, seed, bound):
+        g = power_law_graph(200, 6.0, seed=seed)
+        plan = neighbor_grouping(g, bound)
+        plan.validate(g)
+        # ceil(deg/bound) groups per non-empty center.
+        deg = g.degrees
+        expect = np.maximum(-(-deg // bound), 1).sum()
+        assert plan.num_groups == expect
+
+
+class TestIdentityGrouping:
+    def test_matches_csr(self):
+        g = small_dataset()
+        plan = identity_grouping(g)
+        assert np.array_equal(plan.group_ptr, g.indptr)
+        assert plan.num_groups == g.num_nodes
+        assert not plan.needs_atomic.any()
+        plan.validate(g)
+
+    def test_equivalent_to_large_bound(self):
+        g = small_dataset()
+        a = identity_grouping(g)
+        b = neighbor_grouping(g, int(g.max_degree))
+        assert np.array_equal(a.group_ptr, b.group_ptr)
+        assert np.array_equal(a.group_center, b.group_center)

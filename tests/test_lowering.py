@@ -1,0 +1,203 @@
+"""Tests for the kernel lowering layer (cost accounting + layouts)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExecLayout,
+    aggregation_kernel,
+    compute_waste,
+    edge_chain_kernel,
+    edge_expansion_kernel,
+    effective_row_bytes,
+    gather_rows_kernel,
+    gat_attention_ops,
+    gemm_kernel,
+    identity_grouping,
+    lower_plan,
+    neighbor_grouping,
+    node_map_kernel,
+    plan_fusion,
+    scalar_segment_reduce_kernel,
+    scatter_reduce_kernel,
+    unfused_plan,
+)
+from repro.gpusim import V100
+from repro.graph import small_dataset
+
+
+@pytest.fixture
+def g():
+    return small_dataset()
+
+
+class TestRowBytes:
+    def test_padded_to_lines(self):
+        assert effective_row_bytes(32, V100, packed=False) == 128
+        assert effective_row_bytes(48, V100, packed=False) == 256
+        assert effective_row_bytes(33, V100, packed=False) == 256
+
+    def test_packed(self):
+        assert effective_row_bytes(48, V100, packed=True) == 192
+
+    def test_compute_waste(self):
+        assert compute_waste(32, 32) == 1.0
+        assert compute_waste(48, 32) == pytest.approx(64 / 48)
+        assert compute_waste(16, 16) == 1.0
+        assert compute_waste(16, 32) == 2.0
+
+
+class TestAggregationKernel:
+    def test_flop_total(self, g):
+        k = aggregation_kernel(
+            g, 32, V100, ExecLayout.default(g), edge_stream_bytes_per_edge=0.0
+        )
+        assert k.total_flops == pytest.approx(2.0 * g.num_edges * 32)
+
+    def test_row_trace_is_csr(self, g):
+        k = aggregation_kernel(g, 32, V100, ExecLayout.default(g))
+        assert np.array_equal(k.row_ids, g.indices.astype(np.int64))
+        assert np.array_equal(k.row_ptr, g.indptr)
+
+    def test_grouped_blocks(self, g):
+        plan = neighbor_grouping(g, 8)
+        k = aggregation_kernel(g, 32, V100, ExecLayout(grouping=plan))
+        assert k.num_blocks == plan.num_groups
+        # Atomics only on split centers.
+        assert (k.atomics > 0).sum() == plan.needs_atomic.sum()
+
+    def test_center_order_permutes_trace(self, g):
+        order = np.random.default_rng(0).permutation(g.num_nodes)
+        k = aggregation_kernel(
+            g, 32, V100,
+            ExecLayout(identity_grouping(g), center_order=order),
+        )
+        # First block's rows = neighbors of the first scheduled center.
+        first = order[0]
+        expect = g.neighbors(first)
+        got = k.row_ids[: expect.shape[0]]
+        assert np.array_equal(np.sort(got), np.sort(expect))
+
+    def test_compute_scale(self, g):
+        base = aggregation_kernel(g, 32, V100, ExecLayout.default(g))
+        scaled = aggregation_kernel(
+            g, 32, V100, ExecLayout.default(g), compute_scale=8.0
+        )
+        assert scaled.total_flops == pytest.approx(
+            8.0 * base.total_flops, rel=1e-3
+        )
+
+    def test_uncoalesced_inflates_rows(self, g):
+        base = aggregation_kernel(g, 32, V100, ExecLayout.default(g))
+        bad = aggregation_kernel(
+            g, 32, V100, ExecLayout.default(g), uncoalesced=8.0
+        )
+        assert bad.row_bytes == 8 * base.row_bytes
+
+    def test_writes_once_per_group(self, g):
+        ident = aggregation_kernel(
+            g, 32, V100, ExecLayout.default(g),
+            edge_stream_bytes_per_edge=0.0,
+        )
+        grouped = aggregation_kernel(
+            g, 32, V100, ExecLayout(grouping=neighbor_grouping(g, 4)),
+            edge_stream_bytes_per_edge=0.0,
+        )
+        # Grouping adds partial-result writes: more streaming traffic.
+        assert grouped.stream_bytes.sum() > ident.stream_bytes.sum()
+
+
+class TestSimpleKernels:
+    def test_gemm_flops_bytes(self):
+        k = gemm_kernel(100, 64, 32, V100)
+        assert k.total_flops == pytest.approx(2 * 100 * 64 * 32)
+        assert k.total_bytes == pytest.approx(
+            4 * (100 * 64 + 64 * 32 + 100 * 32)
+        )
+        assert k.tag == "dense"
+
+    def test_node_map(self):
+        k = node_map_kernel(100, 16, V100, name="relu")
+        assert k.total_flops == pytest.approx(1600)
+
+    def test_edge_chain(self, g):
+        k = edge_chain_kernel(
+            g, V100, name="x", reads_per_edge=8.0, writes_per_edge=4.0,
+            flops_per_edge=2.0,
+        )
+        assert k.total_flops == pytest.approx(2.0 * g.num_edges)
+        assert k.total_bytes == pytest.approx(12.0 * g.num_edges)
+
+    def test_edge_chain_with_reduce_has_atomics(self, g):
+        k = edge_chain_kernel(
+            g, V100, name="x", reads_per_edge=4, writes_per_edge=4,
+            flops_per_edge=1, seg_reduce=True,
+        )
+        assert k.atomics.sum() > 0
+
+    def test_scalar_segment_reduce_blocks_per_center(self, g):
+        k = scalar_segment_reduce_kernel(g, V100)
+        assert k.num_blocks == g.num_nodes
+
+    def test_expansion_kernel_traffic(self, g):
+        k = edge_expansion_kernel(g, 32, V100)
+        assert k.num_row_accesses == g.num_edges
+        # Writes the expanded [E, F] matrix.
+        assert k.stream_bytes.sum() == pytest.approx(
+            g.num_edges * (32 * 4 + 4)
+        )
+
+    def test_scatter_reduce_includes_hub_contention(self, g):
+        k = scatter_reduce_kernel(g, 32, V100)
+        expected_hub = g.max_degree * 8
+        assert k.atomics[-1] >= expected_hub
+
+    def test_gather_rows(self):
+        rows = np.arange(100, dtype=np.int64)
+        k = gather_rows_kernel(rows, 16, V100, write_back=True)
+        assert k.num_row_accesses == 100
+        k2 = gather_rows_kernel(rows, 16, V100, write_back=False)
+        assert k2.stream_bytes.sum() < k.stream_bytes.sum()
+
+
+class TestLowerPlan:
+    def test_unfused_gat_has_seven_kernels(self, g):
+        plan = unfused_plan(gat_attention_ops())
+        ks = lower_plan(plan, g, 32, V100, ExecLayout.default(g))
+        assert len(ks) == 7
+
+    def test_fused_gat_has_two_kernels(self, g):
+        plan = plan_fusion(gat_attention_ops(), allow_adapter=True,
+                           grouped=False)
+        ks = lower_plan(plan, g, 32, V100, ExecLayout.default(g))
+        assert len(ks) == 2
+
+    def test_fusion_reduces_total_traffic(self, g):
+        layout = ExecLayout.default(g)
+        unf = lower_plan(
+            unfused_plan(gat_attention_ops()), g, 32, V100, layout
+        )
+        fus = lower_plan(
+            plan_fusion(gat_attention_ops(), allow_adapter=True,
+                        allow_linear=True, grouped=False),
+            g, 32, V100, layout,
+        )
+        assert sum(k.total_bytes for k in fus) < sum(
+            k.total_bytes for k in unf
+        )
+
+    def test_fusion_preserves_useful_flops_order(self, g):
+        """Fused lowering keeps the same order of magnitude of FLOPs
+        (it removes traffic and launches, not math)."""
+        layout = ExecLayout.default(g)
+        unf = lower_plan(
+            unfused_plan(gat_attention_ops()), g, 32, V100, layout
+        )
+        fus = lower_plan(
+            plan_fusion(gat_attention_ops(), allow_adapter=True,
+                        grouped=False),
+            g, 32, V100, layout,
+        )
+        a = sum(k.total_flops for k in unf)
+        b = sum(k.total_flops for k in fus)
+        assert 0.3 * a < b < 3.0 * a

@@ -1,0 +1,168 @@
+"""Cross-cutting property tests: adapter legality, simulator coherence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Op, OpKind, plan_fusion
+from repro.core.lowering import ExecLayout, aggregation_kernel
+from repro.gpusim import (
+    KernelSpec,
+    V100,
+    V100_SCALED,
+    simulate_kernel,
+)
+from repro.graph import power_law_graph, small_dataset
+
+_KINDS = [
+    OpKind.EDGE_MAP,
+    OpKind.U_ADD_V,
+    OpKind.SEG_REDUCE,
+    OpKind.BCAST,
+    OpKind.EDGE_DIV,
+    OpKind.AGGREGATE,
+    OpKind.NODE_MAP,
+]
+
+_SHAPES = {
+    OpKind.EDGE_MAP: "E1",
+    OpKind.U_ADD_V: "E1",
+    OpKind.SEG_REDUCE: "N1",
+    OpKind.BCAST: "E1",
+    OpKind.EDGE_DIV: "E1",
+    OpKind.AGGREGATE: "NF",
+    OpKind.NODE_MAP: "NF",
+}
+
+
+@st.composite
+def op_chains(draw):
+    n = draw(st.integers(1, 10))
+    ops = []
+    for i in range(n):
+        kind = draw(st.sampled_from(_KINDS))
+        linear = kind in (OpKind.EDGE_DIV, OpKind.NODE_MAP) and draw(
+            st.booleans()
+        )
+        ops.append(
+            Op(f"op{i}_{kind.value}", kind, _SHAPES[kind], linear=linear)
+        )
+    return ops
+
+
+class TestAdapterProperties:
+    @given(op_chains(), st.booleans(), st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_fusion_conserves_ops(self, ops, linear, grouped):
+        plan = plan_fusion(
+            ops, allow_adapter=True, allow_linear=linear, grouped=grouped
+        )
+        names = []
+        for g in plan.groups:
+            names.extend(o.name for o in g.ops)
+            names.extend(o.name for o in g.postponed)
+        assert sorted(names) == sorted(o.name for o in ops)
+
+    @given(op_chains(), st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_no_consumer_in_reduce_group(self, ops, grouped):
+        """A BCAST (reader of the reduced value) never shares a kernel
+        with the SEG_REDUCE that produces it."""
+        plan = plan_fusion(ops, allow_adapter=True, grouped=grouped)
+        for group in plan.groups:
+            kinds = [o.kind for o in group.ops]
+            if OpKind.SEG_REDUCE in kinds:
+                idx = kinds.index(OpKind.SEG_REDUCE)
+                assert OpKind.BCAST not in kinds[idx + 1 :]
+
+    @given(op_chains())
+    @settings(max_examples=80, deadline=None)
+    def test_fewer_or_equal_kernels_than_unfused(self, ops):
+        fused = plan_fusion(ops, allow_adapter=True)
+        assert fused.num_kernels <= len(ops)
+
+    @given(op_chains())
+    @settings(max_examples=80, deadline=None)
+    def test_linear_never_increases_kernels(self, ops):
+        without = plan_fusion(ops, allow_adapter=True, allow_linear=False)
+        with_lin = plan_fusion(ops, allow_adapter=True, allow_linear=True)
+        assert with_lin.num_kernels <= without.num_kernels
+
+
+class TestSimulatorCoherence:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_window_and_lru_models_agree_on_rates(self, seed):
+        """End-to-end: the same kernel simulated under both cache models
+        yields comparable hit rates (small graphs)."""
+        g = power_law_graph(200, 6.0, seed=seed)
+        k = aggregation_kernel(
+            g, 16, V100_SCALED, ExecLayout.default(g)
+        )
+        win = simulate_kernel(k, V100_SCALED.replace(cache_model="window"))
+        lru = simulate_kernel(k, V100_SCALED.replace(cache_model="lru"))
+        assert abs(win.l2_hit_rate - lru.l2_hit_rate) < 0.2
+
+    def test_time_monotone_in_traffic(self):
+        g = small_dataset()
+        narrow = simulate_kernel(
+            aggregation_kernel(g, 16, V100_SCALED, ExecLayout.default(g)),
+            V100_SCALED,
+        )
+        wide = simulate_kernel(
+            aggregation_kernel(g, 128, V100_SCALED, ExecLayout.default(g)),
+            V100_SCALED,
+        )
+        assert wide.makespan > narrow.makespan
+
+    def test_more_sms_never_lower_throughput(self):
+        """A bigger machine never reduces aggregate throughput.  (The
+        cost model shares bandwidth per slot, so a straggler's own
+        latency can grow with the machine — the balanced time, i.e.
+        machine throughput, is the scale-monotone quantity.)"""
+        g = small_dataset()
+        k = aggregation_kernel(g, 32, V100_SCALED, ExecLayout.default(g))
+        few = simulate_kernel(k, V100_SCALED.replace(num_sms=20))
+        many = simulate_kernel(k, V100_SCALED.replace(num_sms=80))
+        assert many.balanced_time <= few.balanced_time * 1.05
+
+    def test_bigger_l2_never_lowers_hits(self):
+        g = small_dataset()
+        k = aggregation_kernel(g, 32, V100_SCALED, ExecLayout.default(g))
+        small_l2 = simulate_kernel(
+            k, V100_SCALED.replace(l2_bytes=64 * 1024)
+        )
+        big_l2 = simulate_kernel(
+            k, V100_SCALED.replace(l2_bytes=4 * 1024 * 1024)
+        )
+        assert big_l2.l2_hit_rate >= small_l2.l2_hit_rate - 0.02
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_flops_invariant_under_grouping(self, bound):
+        """Neighbor grouping redistributes work but never changes the
+        useful FLOP total (compute_scale and lanes fixed)."""
+        from repro.core import neighbor_grouping
+
+        g = small_dataset()
+        base = aggregation_kernel(
+            g, 32, V100, ExecLayout.default(g),
+            edge_stream_bytes_per_edge=0.0,
+        )
+        grouped = aggregation_kernel(
+            g, 32, V100,
+            ExecLayout(grouping=neighbor_grouping(g, bound)),
+            edge_stream_bytes_per_edge=0.0,
+        )
+        assert grouped.total_flops == pytest.approx(
+            base.total_flops, rel=1e-9
+        )
+
+    def test_kernel_stats_repeatable(self):
+        g = small_dataset()
+        k = aggregation_kernel(g, 32, V100_SCALED, ExecLayout.default(g))
+        a = simulate_kernel(k, V100_SCALED)
+        b = simulate_kernel(k, V100_SCALED)
+        assert a.makespan == b.makespan
+        assert a.row_hits == b.row_hits

@@ -1,0 +1,93 @@
+"""Tests for the multi-head GAT extension."""
+
+import numpy as np
+import pytest
+
+from repro.graph import small_dataset
+from repro.models import (
+    GATConfig,
+    MultiHeadGATConfig,
+    gat_reference_forward,
+    multihead_gat_forward,
+)
+
+
+@pytest.fixture(scope="module")
+def g():
+    return small_dataset()
+
+
+@pytest.fixture(scope="module")
+def feat(g):
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((g.num_nodes, 64)).astype(np.float32)
+
+
+class TestMultiHeadGAT:
+    def test_forward_shape(self, g, feat):
+        cfg = MultiHeadGATConfig(dims=(64, 16, 16, 8), heads=(4, 4, 1))
+        out = multihead_gat_forward(g, feat, cfg.params(0), cfg)
+        # Last layer has 1 head averaged: width = dims[-1].
+        assert out.shape == (g.num_nodes, 8)
+
+    def test_hidden_layer_concatenates(self, g, feat):
+        from repro.models.gat_multihead import multihead_gat_layer
+
+        cfg = MultiHeadGATConfig(dims=(64, 16), heads=(4,))
+        params = cfg.params(0)
+        out = multihead_gat_layer(
+            g, feat, params.layers[0], 0.2, combine="concat"
+        )
+        assert out.shape == (g.num_nodes, 4 * 16)
+
+    def test_head_count_validation(self):
+        with pytest.raises(ValueError):
+            MultiHeadGATConfig(dims=(64, 16, 8), heads=(4,))
+
+    def test_single_head_matches_reference_gat(self, g):
+        """K=1 multi-head reduces to the paper's single-head GAT."""
+        rng = np.random.default_rng(1)
+        feat = rng.standard_normal((g.num_nodes, 12)).astype(np.float32)
+        mh_cfg = MultiHeadGATConfig(dims=(12, 6), heads=(1,))
+        mh_params = mh_cfg.params(3)
+        w, a_l, a_r = mh_params.layers[0][0]
+
+        from repro.models import GATParams
+
+        ref_params = GATParams(
+            weights=(w,), att_left=(a_l,), att_right=(a_r,)
+        )
+        a = multihead_gat_forward(g, feat, mh_params, mh_cfg)
+        b = gat_reference_forward(g, feat, ref_params)
+        assert np.allclose(a, b, atol=1e-5)
+
+    def test_deterministic(self, g, feat):
+        cfg = MultiHeadGATConfig(dims=(64, 8), heads=(2,))
+        a = multihead_gat_forward(g, feat, cfg.params(5), cfg)
+        b = multihead_gat_forward(g, feat, cfg.params(5), cfg)
+        assert np.array_equal(a, b)
+
+    def test_mean_combine_bounded_by_heads(self, g, feat):
+        """Averaged output lies within the per-head output envelope."""
+        from repro.models.gat_multihead import multihead_gat_layer
+
+        cfg = MultiHeadGATConfig(dims=(64, 8), heads=(3,))
+        params = cfg.params(7)
+        per_head = [
+            multihead_gat_layer(g, feat, (hp,), 0.2, "mean")
+            for hp in params.layers[0]
+        ]
+        mean_out = multihead_gat_layer(
+            g, feat, params.layers[0], 0.2, "mean"
+        )
+        stack = np.stack(per_head)
+        assert (mean_out <= stack.max(axis=0) + 1e-5).all()
+        assert (mean_out >= stack.min(axis=0) - 1e-5).all()
+
+    def test_odd_head_width_runs(self, g, feat):
+        """Per-head widths off the multiple-of-32 grid (the tuner's
+        lane-selection case) work fine."""
+        cfg = MultiHeadGATConfig(dims=(64, 24, 8), heads=(3, 1))
+        out = multihead_gat_forward(g, feat, cfg.params(0), cfg)
+        assert out.shape == (g.num_nodes, 8)
+        assert np.isfinite(out).all()

@@ -1,0 +1,126 @@
+"""Tests for dense neural ops and the LSTM strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ops import (
+    LSTMParams,
+    leaky_relu,
+    linear,
+    linear_flops,
+    lstm_cell,
+    lstm_cell_flops,
+    lstm_cell_pre,
+    lstm_over_expanded,
+    lstm_pretransformed,
+    relu,
+    row_softmax,
+    sigmoid,
+    tanh,
+)
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert relu(x).tolist() == [0.0, 0.0, 2.0]
+
+    def test_leaky_relu(self):
+        x = np.array([-10.0, 5.0])
+        out = leaky_relu(x, 0.2)
+        assert out.tolist() == [-2.0, 5.0]
+
+    def test_sigmoid_bounds_and_stability(self):
+        x = np.array([-1e4, -1.0, 0.0, 1.0, 1e4], dtype=np.float32)
+        s = sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+        assert s[0] == pytest.approx(0.0, abs=1e-6)
+        assert s[2] == pytest.approx(0.5)
+        assert s[4] == pytest.approx(1.0, abs=1e-6)
+
+    def test_sigmoid_symmetric(self):
+        x = np.linspace(-5, 5, 11)
+        assert np.allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-7)
+
+    def test_tanh(self):
+        assert tanh(np.array([0.0]))[0] == 0.0
+
+    def test_row_softmax(self):
+        x = np.array([[1.0, 2.0, 3.0], [1000.0, 1000.0, 1000.0]])
+        s = row_softmax(x)
+        assert np.allclose(s.sum(axis=1), 1.0)
+        assert np.allclose(s[1], 1 / 3)
+
+    def test_linear(self):
+        x = np.ones((2, 3), dtype=np.float32)
+        w = np.ones((3, 4), dtype=np.float32)
+        out = linear(x, w, bias=np.full(4, 0.5, dtype=np.float32))
+        assert np.allclose(out, 3.5)
+
+    def test_linear_flops(self):
+        assert linear_flops(10, 3, 4) == 2 * 10 * 3 * 4
+
+
+class TestLSTM:
+    @pytest.fixture
+    def params(self):
+        return LSTMParams.init(6, 4, seed=0)
+
+    def test_cell_shapes(self, params):
+        x = np.zeros((5, 6), dtype=np.float32)
+        h = np.zeros((5, 4), dtype=np.float32)
+        c = np.zeros((5, 4), dtype=np.float32)
+        h2, c2 = lstm_cell(x, h, c, params)
+        assert h2.shape == (5, 4) and c2.shape == (5, 4)
+
+    def test_cell_pre_equals_cell(self, params):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        h = rng.standard_normal((5, 4)).astype(np.float32)
+        c = rng.standard_normal((5, 4)).astype(np.float32)
+        h1, c1 = lstm_cell(x, h, c, params)
+        h2, c2 = lstm_cell_pre(x @ params.w_ih, h, c, params)
+        assert np.allclose(h1, h2, atol=1e-6)
+        assert np.allclose(c1, c2, atol=1e-6)
+
+    def test_expanded_vs_pretransformed_identical(self, params):
+        """The redundancy-bypassing execution is semantics-preserving."""
+        rng = np.random.default_rng(2)
+        n, k = 40, 7
+        feat = rng.standard_normal((n, 6)).astype(np.float32)
+        nbr = rng.integers(0, n, size=(n, k))
+        a = lstm_over_expanded(feat[nbr], params)
+        b = lstm_pretransformed(feat, nbr, params)
+        assert np.allclose(a, b, atol=1e-5)
+
+    def test_state_bounded(self, params):
+        """Hidden state is bounded by tanh/sigmoid composition."""
+        rng = np.random.default_rng(3)
+        feat = (rng.standard_normal((20, 6)) * 100).astype(np.float32)
+        nbr = rng.integers(0, 20, size=(20, 5))
+        h = lstm_over_expanded(feat[nbr], params)
+        assert np.all(np.abs(h) <= 1.0 + 1e-6)
+
+    def test_zero_sequence_len_not_allowed(self, params):
+        feat = np.zeros((3, 0, 6), dtype=np.float32)
+        h = lstm_over_expanded(feat, params)
+        assert np.allclose(h, 0.0)  # no cells -> initial state
+
+    def test_flops_counts(self):
+        full = lstm_cell_flops(10, 6, 4, include_input_transform=True)
+        no_in = lstm_cell_flops(10, 6, 4, include_input_transform=False)
+        assert full - no_in == 2 * 10 * 6 * 16
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_equivalence_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k, f, hdim = 12, 3, 4, 5
+        params = LSTMParams.init(f, hdim, seed=seed)
+        feat = rng.standard_normal((n, f)).astype(np.float32)
+        nbr = rng.integers(0, n, size=(n, k))
+        a = lstm_over_expanded(feat[nbr], params)
+        b = lstm_pretransformed(feat, nbr, params)
+        assert np.allclose(a, b, atol=1e-5)

@@ -1,0 +1,103 @@
+"""Tests for the occupancy calculator and its tuner integration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pick_launch_config
+from repro.gpusim import (
+    LaunchConfig,
+    SMResources,
+    blocks_per_sm,
+    occupancy,
+)
+
+
+class TestBlocksPerSM:
+    def test_default_config(self):
+        # 256 threads, 32 regs, no smem on V100: register-limited to 8.
+        assert blocks_per_sm(LaunchConfig(256, 32, 0)) == 8
+
+    def test_thread_limit(self):
+        # 1024-thread blocks: at most 2 fit in 2048 thread slots.
+        assert blocks_per_sm(LaunchConfig(1024, 16, 0)) == 2
+
+    def test_block_slot_limit(self):
+        # Tiny blocks with tiny demands hit the 32-block cap.
+        assert blocks_per_sm(LaunchConfig(32, 8, 0)) == 32
+
+    def test_register_limit(self):
+        # 256 threads x 255 regs = 65280 regs: only 1 block fits.
+        assert blocks_per_sm(LaunchConfig(256, 255, 0)) == 1
+
+    def test_shared_memory_limit(self):
+        # 48 KiB smem per block in a 96 KiB SM: 2 blocks.
+        assert blocks_per_sm(LaunchConfig(128, 16, 48 * 1024)) == 2
+
+    def test_oversized_block_fails(self):
+        assert blocks_per_sm(LaunchConfig(4096, 16, 0)) == 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(0, 16, 0)
+        with pytest.raises(ValueError):
+            LaunchConfig(128, -1, 0)
+
+    @given(
+        st.sampled_from([32, 64, 128, 256, 512, 1024]),
+        st.integers(8, 128),
+        st.integers(0, 96 * 1024),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_resources_never_exceeded(self, threads, regs, smem):
+        launch = LaunchConfig(threads, regs, smem)
+        sm = SMResources()
+        blocks = blocks_per_sm(launch, sm)
+        if blocks == 0:
+            return
+        assert blocks * threads <= sm.max_threads
+        assert blocks <= sm.max_blocks
+        regs_block = -(-regs * threads // 256) * 256
+        assert blocks * regs_block <= sm.registers
+        smem_block = -(-smem // 256) * 256
+        assert blocks * smem_block <= sm.shared_memory
+
+    @given(st.sampled_from([64, 128, 256, 512]), st.integers(16, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_shared_memory(self, threads, regs):
+        low = blocks_per_sm(LaunchConfig(threads, regs, 1024))
+        high = blocks_per_sm(LaunchConfig(threads, regs, 32 * 1024))
+        assert high <= low
+
+
+class TestOccupancy:
+    def test_full_occupancy_possible(self):
+        # 8 blocks x 256 threads = 2048 threads = 64 warps: 100%.
+        assert occupancy(LaunchConfig(256, 32, 0)) == 1.0
+
+    def test_register_pressure_reduces_occupancy(self):
+        low_regs = occupancy(LaunchConfig(256, 32, 0))
+        high_regs = occupancy(LaunchConfig(256, 128, 0))
+        assert high_regs < low_regs
+
+    def test_zero_for_unlaunchable(self):
+        assert occupancy(LaunchConfig(4096, 16, 0)) == 0.0
+
+
+class TestTunerLaunchConfig:
+    def test_pick_maximizes_warps(self):
+        launch = pick_launch_config(32, bound=32)
+        assert occupancy(launch) == 1.0
+
+    def test_shared_memory_limited_when_features_wide(self):
+        """Wide features x large staging would evict blocks; the tuner
+        limits shared usage to keep occupancy up (paper §4.4)."""
+        launch = pick_launch_config(512, bound=256)
+        # The staged variant (256 rows x 2 KiB) cannot sustain full
+        # occupancy, so the tuner drops the staging buffer.
+        assert occupancy(launch) == 1.0
+        assert launch.shared_per_block < 256 * 512 * 4
+
+    def test_staging_kept_when_cheap(self):
+        launch = pick_launch_config(16, bound=16)
+        assert launch.shared_per_block == 16 * 16 * 4

@@ -1,0 +1,81 @@
+"""Tests for offline-analysis persistence (the paper's §4.4 contract)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    graph_fingerprint,
+    load_schedule,
+    load_tuning,
+    locality_aware_schedule,
+    save_schedule,
+    save_tuning,
+    schedule_with_cache,
+    tune,
+)
+from repro.gpusim import V100_SCALED
+from repro.graph import power_law_graph, small_dataset
+
+
+@pytest.fixture
+def g():
+    return small_dataset()
+
+
+class TestFingerprint:
+    def test_stable(self, g):
+        assert graph_fingerprint(g) == graph_fingerprint(g)
+
+    def test_structure_sensitive(self, g):
+        other = power_law_graph(512, 8.0, seed=99)
+        assert graph_fingerprint(g) != graph_fingerprint(other)
+
+
+class TestScheduleRoundTrip:
+    def test_save_load(self, g, tmp_path):
+        sched = locality_aware_schedule(g)
+        path = str(tmp_path / "sched.npz")
+        save_schedule(path, g, sched)
+        loaded = load_schedule(path, g)
+        assert loaded is not None
+        assert np.array_equal(loaded.order, sched.order)
+        assert np.array_equal(loaded.cluster_id, sched.cluster_id)
+        assert loaded.num_clusters == sched.num_clusters
+        loaded.validate(g.num_nodes)
+
+    def test_missing_file(self, g, tmp_path):
+        assert load_schedule(str(tmp_path / "nope.npz"), g) is None
+
+    def test_stale_artifact_rejected(self, g, tmp_path):
+        sched = locality_aware_schedule(g)
+        path = str(tmp_path / "sched.npz")
+        save_schedule(path, g, sched)
+        other = power_law_graph(512, 8.0, seed=123)
+        assert load_schedule(path, other) is None
+
+    def test_compute_once_reuse_after(self, g, tmp_path):
+        a = schedule_with_cache(g, str(tmp_path))
+        b = schedule_with_cache(g, str(tmp_path))
+        assert np.array_equal(a.order, b.order)
+        # Second call loaded from disk: one artifact exists.
+        files = list(tmp_path.iterdir())
+        assert len(files) == 1
+
+
+class TestTuningRoundTrip:
+    def test_save_load(self, g, tmp_path):
+        result = tune(g, 32, V100_SCALED, max_rounds=4)
+        path = str(tmp_path / "tune.json")
+        save_tuning(path, g, 32, result)
+        loaded = load_tuning(path, g, 32)
+        assert loaded is not None
+        assert loaded.bound == result.bound
+        assert loaded.lanes == result.lanes
+        assert loaded.trace == result.trace
+        assert loaded.launch == result.launch
+
+    def test_feat_mismatch_rejected(self, g, tmp_path):
+        result = tune(g, 32, V100_SCALED, max_rounds=2)
+        path = str(tmp_path / "tune.json")
+        save_tuning(path, g, 32, result)
+        assert load_tuning(path, g, 64) is None

@@ -1,0 +1,148 @@
+"""Tests for sparse fetching / redundancy bypassing and the tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SageStrategy,
+    candidate_bounds,
+    lower_sage_lstm,
+    pick_lanes,
+    run_sage_lstm_functional,
+    sample_neighbors,
+    tune,
+)
+from repro.gpusim import V100_SCALED, simulate_kernels
+from repro.graph import coo_to_csr, small_dataset
+from repro.ops import LSTMParams
+
+
+@pytest.fixture
+def g():
+    return small_dataset()
+
+
+class TestSampleNeighbors:
+    def test_shape_and_validity(self, g):
+        nbr = sample_neighbors(g, 16, seed=1)
+        assert nbr.shape == (g.num_nodes, 16)
+        assert nbr.min() >= 0 and nbr.max() < g.num_nodes
+
+    def test_samples_are_real_neighbors(self, g):
+        nbr = sample_neighbors(g, 8, seed=2)
+        for v in (0, 7, 100):
+            if g.degrees[v] > 0:
+                assert set(nbr[v].tolist()) <= set(
+                    g.neighbors(v).tolist()
+                )
+
+    def test_isolated_centers_self_sample(self):
+        g = coo_to_csr(np.array([0]), np.array([1]), 4)
+        nbr = sample_neighbors(g, 4, seed=0)
+        assert (nbr[3] == 3).all()  # isolated node samples itself
+
+    def test_deterministic(self, g):
+        a = sample_neighbors(g, 8, seed=3)
+        b = sample_neighbors(g, 8, seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestStrategyEquivalence:
+    def test_all_strategies_identical(self, g):
+        rng = np.random.default_rng(0)
+        feat = rng.standard_normal((g.num_nodes, 16)).astype(np.float32)
+        params = LSTMParams.init(16, 8, seed=1)
+        outs = [
+            run_sage_lstm_functional(g, feat, params, k=6, strategy=s,
+                                     seed=4)
+            for s in SageStrategy
+        ]
+        assert np.allclose(outs[0], outs[1], atol=1e-5)
+        assert np.allclose(outs[0], outs[2], atol=1e-5)
+
+
+class TestSageLowering:
+    def test_base_has_expansion_phase(self, g):
+        kernels, phases = lower_sage_lstm(
+            g, 32, 32, 4, V100_SCALED, SageStrategy.BASE
+        )
+        assert any(p.phase == "expansion" for p in phases)
+        assert sum(p.phase == "transformation" for p in phases) == 4
+
+    def test_sparse_fetch_drops_expansion(self, g):
+        kernels, phases = lower_sage_lstm(
+            g, 32, 32, 4, V100_SCALED, SageStrategy.SPARSE_FETCH
+        )
+        assert not any(p.phase == "expansion" for p in phases)
+        assert sum(p.phase == "transformation" for p in phases) == 4
+
+    def test_redundancy_bypass_one_transform(self, g):
+        kernels, phases = lower_sage_lstm(
+            g, 32, 32, 4, V100_SCALED, SageStrategy.REDUNDANCY_BYPASS
+        )
+        assert sum(p.phase == "transformation" for p in phases) == 1
+
+    def test_bypass_fewer_flops(self, g):
+        def flops(strategy):
+            kernels, _ = lower_sage_lstm(
+                g, 32, 32, 8, V100_SCALED, strategy
+            )
+            return sum(k.total_flops for k in kernels)
+
+        assert flops(SageStrategy.REDUNDANCY_BYPASS) < flops(
+            SageStrategy.BASE
+        )
+
+    def test_bypass_faster(self, g):
+        def t(strategy):
+            kernels, _ = lower_sage_lstm(
+                g, 32, 32, 8, V100_SCALED, strategy
+            )
+            return simulate_kernels(kernels, V100_SCALED).total_time
+
+        assert t(SageStrategy.REDUNDANCY_BYPASS) < t(SageStrategy.BASE)
+
+    def test_phase_indices_valid(self, g):
+        kernels, phases = lower_sage_lstm(
+            g, 32, 32, 4, V100_SCALED, SageStrategy.BASE
+        )
+        assert all(0 <= p.kernel_index < len(kernels) for p in phases)
+        assert len(phases) == len(kernels)
+
+
+class TestTuner:
+    def test_candidate_bounds_multiples_of_16(self, g):
+        bounds = candidate_bounds(g)
+        assert all(b % 16 == 0 for b in bounds)
+        assert max(bounds) <= max(16, int(10 * g.avg_degree) + 16)
+
+    def test_candidate_bounds_capped_rounds(self, g):
+        assert len(candidate_bounds(g, max_rounds=5)) <= 5
+
+    def test_pick_lanes(self):
+        assert pick_lanes(32) == 32
+        assert pick_lanes(64) == 32
+        assert pick_lanes(48) == 16
+        assert pick_lanes(16) == 16
+        assert pick_lanes(24) == 8
+        assert pick_lanes(4) == 4
+        assert pick_lanes(7) == 32  # nothing divides: full warps
+
+    def test_tune_returns_valid_result(self, g):
+        res = tune(g, 32, V100_SCALED, max_rounds=6)
+        assert res.rounds <= 6
+        assert res.lanes == 32
+        if res.bound is not None:
+            assert res.bound in res.trace
+            # The chosen bound beats the ungrouped baseline.
+            assert res.trace[res.bound] < res.baseline_seconds
+
+    def test_tune_trace_complete(self, g):
+        res = tune(g, 32, V100_SCALED, max_rounds=4)
+        assert len(res.trace) == res.rounds
+
+    def test_layout_roundtrip(self, g):
+        res = tune(g, 32, V100_SCALED, max_rounds=4)
+        layout = res.layout(g)
+        layout.grouping.validate(g)
+        assert layout.packed_rows

@@ -1,0 +1,85 @@
+"""Tests for the SpMM reference and graph statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import power_law_graph, small_dataset
+from repro.graph.stats import (
+    degree_cv,
+    degree_histogram,
+    neighbor_reuse_factor,
+    summary,
+)
+from repro.ops import spmm_bytes, spmm_flops, spmm_scipy, spmm_sum
+
+
+@pytest.fixture
+def g():
+    return small_dataset()
+
+
+class TestSpMM:
+    def test_unweighted_matches_scipy(self, g):
+        rng = np.random.default_rng(0)
+        feat = rng.standard_normal((g.num_nodes, 7)).astype(np.float32)
+        assert np.allclose(
+            spmm_sum(g, feat), spmm_scipy(g, feat), atol=1e-4
+        )
+
+    def test_weighted_matches_scipy(self, g):
+        rng = np.random.default_rng(1)
+        feat = rng.standard_normal((g.num_nodes, 5)).astype(np.float32)
+        w = rng.random(g.num_edges).astype(np.float32)
+        assert np.allclose(
+            spmm_sum(g, feat, w), spmm_scipy(g, feat, w), atol=1e-4
+        )
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_scipy_property(self, seed):
+        g = power_law_graph(120, 5.0, seed=seed)
+        rng = np.random.default_rng(seed)
+        feat = rng.standard_normal((g.num_nodes, 3)).astype(np.float32)
+        w = rng.random(g.num_edges).astype(np.float32)
+        assert np.allclose(
+            spmm_sum(g, feat, w), spmm_scipy(g, feat, w), atol=1e-3
+        )
+
+    def test_flop_count(self):
+        assert spmm_flops(100, 32) == 2 * 100 * 32
+        assert spmm_flops(100, 32, weighted=False) == 100 * 32
+
+    def test_byte_lower_bound(self):
+        # Perfect reuse: N rows in + N rows out + structure.
+        assert spmm_bytes(10, 100, 8) == 2 * 10 * 8 * 4 + 100 * 4
+
+
+class TestStats:
+    def test_degree_histogram_total(self, g):
+        hist = degree_histogram(g)
+        # Histogram covers nodes with degree >= 1.
+        assert hist.sum() == (g.degrees >= 1).sum()
+
+    def test_degree_cv_zero_for_regular(self):
+        from repro.graph import coo_to_csr
+
+        src = np.array([1, 0, 2, 1, 0, 2])
+        dst = np.array([0, 1, 0, 2, 2, 1])
+        g = coo_to_csr(src, dst, 3)
+        assert degree_cv(g) == pytest.approx(0.0)
+
+    def test_reuse_factor(self):
+        from repro.graph import coo_to_csr
+
+        # 4 edges, 2 distinct sources -> reuse factor 2.
+        src = np.array([0, 0, 1, 1])
+        dst = np.array([1, 2, 2, 3])
+        g = coo_to_csr(src, dst, 4)
+        assert neighbor_reuse_factor(g) == pytest.approx(2.0)
+
+    def test_summary_keys(self, g):
+        s = summary(g)
+        assert {"N", "E", "avg_degree", "max_degree", "degree_cv",
+                "density", "reuse_factor"} <= set(s)

@@ -1,0 +1,74 @@
+"""Tests for the training-epoch (forward+backward) simulation."""
+
+import pytest
+
+from repro.frameworks import (
+    DGLLike,
+    OursRuntime,
+    gcn_epoch_report,
+    lower_gcn_backward,
+)
+from repro.gpusim import V100_SCALED
+from repro.graph import small_dataset
+from repro.models import GCNConfig
+
+CFG = GCNConfig(dims=(64, 32, 16))
+
+
+@pytest.fixture(scope="module")
+def g():
+    return small_dataset()
+
+
+class TestBackwardLowering:
+    def test_unfused_kernel_count(self, g):
+        ks = lower_gcn_backward(g, CFG, V100_SCALED, fused=False)
+        # Layer 1 (last): norm_dst + rev_agg + norm_src + grad_w +
+        # grad_input = 5; layer 0: relu_grad + those minus grad_input = 5.
+        assert len(ks) == 10
+
+    def test_fused_fewer_kernels(self, g):
+        fused = lower_gcn_backward(g, CFG, V100_SCALED, fused=True)
+        unfused = lower_gcn_backward(g, CFG, V100_SCALED, fused=False)
+        assert len(fused) < len(unfused)
+
+    def test_reverse_aggregation_present(self, g):
+        ks = lower_gcn_backward(g, CFG, V100_SCALED, fused=False)
+        assert any("rev_aggregate" in k.name for k in ks)
+
+    def test_weight_grad_flops(self, g):
+        ks = lower_gcn_backward(g, CFG, V100_SCALED, fused=False)
+        gw = [k for k in ks if "grad_w" in k.name]
+        assert len(gw) == 2
+        # grad_W1 = h0^T @ g: [64, N] @ [N, 32].
+        assert gw[-1].total_flops == pytest.approx(
+            2 * 64 * g.num_nodes * 32
+        )
+
+
+class TestEpochReports:
+    def test_epoch_has_both_phases(self, g):
+        fwd, bwd = gcn_epoch_report(DGLLike(), g, CFG, V100_SCALED)
+        assert fwd.total_time > 0 and bwd.total_time > 0
+        assert any("bwd" in k.name for k in bwd.kernels)
+
+    def test_ours_epoch_faster_than_dgl(self, g):
+        dgl_f, dgl_b = gcn_epoch_report(DGLLike(), g, CFG, V100_SCALED)
+        ours_f, ours_b = gcn_epoch_report(
+            OursRuntime(), g, CFG, V100_SCALED
+        )
+        assert (
+            ours_f.total_time + ours_b.total_time
+            < dgl_f.total_time + dgl_b.total_time
+        )
+
+    def test_backward_heavier_than_forward_in_gemms(self, g):
+        """Backward adds the weight/input gradient GEMMs."""
+        fwd, bwd = gcn_epoch_report(DGLLike(), g, CFG, V100_SCALED)
+        fwd_gemm = sum(
+            k.flops for k in fwd.kernels if "gemm" in k.name
+        )
+        bwd_gemm = sum(
+            k.flops for k in bwd.kernels if "grad" in k.name
+        )
+        assert bwd_gemm > 0.8 * fwd_gemm
