@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Perf-trajectory harness: time the simulator itself, not the simulated GPU.
+
+Runs a representative workload (the Fig. 7 forward-pass grid on the two
+largest datasets plus a Fig. 12 tuned-throughput sweep) twice, in
+separate subprocesses:
+
+* ``reference`` — fast paths and memoization disabled
+  (``REPRO_FASTPATH=0 REPRO_KERNEL_MEMO=0``): the pre-optimization
+  implementations, kept callable exactly so this harness always has a
+  live baseline;
+* ``fast`` — both enabled (the defaults).
+
+Both modes must produce *identical simulated results* (a content hash of
+every reported number is compared), so the speedup is attributable to
+the performance layer alone.  Each invocation appends one record to
+``BENCH_speed.json`` at the repo root — the performance trajectory of
+the codebase over time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py [--quick]
+
+``--quick`` shrinks the workload (small datasets, short sweep) for CI
+smoke runs; the full workload is the one the speedup targets quote.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TRAJECTORY = os.path.join(ROOT, "BENCH_speed.json")
+
+FULL = {
+    "fig7_models": ["gcn", "gat", "sage_lstm"],
+    "fig7_datasets": ["reddit", "products"],
+    "fig12_datasets": ["reddit"],
+    "fig12_feats": [32, 64, 96, 128, 192, 256],
+}
+QUICK = {
+    "fig7_models": ["gcn", "gat"],
+    "fig7_datasets": ["arxiv", "ddi"],
+    "fig12_datasets": ["arxiv"],
+    "fig12_feats": [32, 64],
+}
+
+
+# ----------------------------------------------------------------------
+# Worker (runs once per mode, in a fresh process)
+# ----------------------------------------------------------------------
+
+def _result_hash(obj) -> str:
+    """Stable content hash of the simulated numbers (not wall-clock)."""
+    return hashlib.sha256(
+        json.dumps(obj, sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+def run_workload(spec) -> dict:
+    from repro.bench import fig7_overall, fig4_throughput_sweep, sweep_config
+    from repro.graph import load_dataset
+    from repro.perf import PERF
+
+    # Dataset construction is not what this harness measures.
+    for name in set(spec["fig7_datasets"]) | set(spec["fig12_datasets"]):
+        load_dataset(name)
+
+    t0 = time.perf_counter()
+    grid = fig7_overall(
+        models=tuple(spec["fig7_models"]), datasets=spec["fig7_datasets"]
+    )
+    sweep = fig4_throughput_sweep(
+        spec["fig12_datasets"],
+        spec["fig12_feats"],
+        sweep_config(),
+        tuned=True,
+    )
+    seconds = time.perf_counter() - t0
+
+    results = {
+        "fig7": {
+            m: {
+                f: {d: cell.time_ms for d, cell in row.items()}
+                for f, row in frameworks.items()
+            }
+            for m, frameworks in grid.items()
+        },
+        "fig12": {
+            d: {str(f): round(v, 9) for f, v in series.items()}
+            for d, series in sweep.items()
+        },
+    }
+    counts = PERF.counts
+    hits = counts.get("kernel_memo_hit", 0)
+    misses = counts.get("kernel_memo_miss", 0)
+    return {
+        "seconds": round(seconds, 3),
+        "result_hash": _result_hash(results),
+        "perf_seconds": {k: round(v, 3) for k, v in PERF.seconds.items()},
+        "kernel_memo_hit_rate": round(hits / (hits + misses), 4)
+        if hits + misses
+        else 0.0,
+        "stream_cache_hits": counts.get("stream_cache_hit", 0),
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def _run_mode(mode: str, quick: bool) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [os.path.join(ROOT, "src"), env.get("PYTHONPATH")] if p
+    )
+    flag = "0" if mode == "reference" else "1"
+    env["REPRO_FASTPATH"] = flag
+    env["REPRO_KERNEL_MEMO"] = flag
+    args = [sys.executable, os.path.abspath(__file__), "--worker", mode]
+    if quick:
+        args.append("--quick")
+    proc = subprocess.run(
+        args, env=env, capture_output=True, text=True, check=False
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"{mode} worker failed ({proc.returncode})")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="small workload for CI smoke runs")
+    ap.add_argument("--worker", choices=["reference", "fast"],
+                    help=argparse.SUPPRESS)
+    ap.add_argument("--output", default=TRAJECTORY,
+                    help="trajectory JSON file to append to")
+    ns = ap.parse_args()
+
+    if ns.worker:
+        spec = QUICK if ns.quick else FULL
+        print(json.dumps(run_workload(spec)))
+        return
+
+    quick = ns.quick
+    print(f"workload: {'quick' if quick else 'full'}")
+    fast = _run_mode("fast", quick)
+    print(f"fast:      {fast['seconds']:8.2f}s  "
+          f"memo hit rate {fast['kernel_memo_hit_rate']:.2f}")
+    ref = _run_mode("reference", quick)
+    print(f"reference: {ref['seconds']:8.2f}s")
+
+    if ref["result_hash"] != fast["result_hash"]:
+        raise SystemExit(
+            "FAIL: fast-path results differ from reference "
+            f"({fast['result_hash']} vs {ref['result_hash']})"
+        )
+    speedup = ref["seconds"] / max(fast["seconds"], 1e-9)
+    print(f"speedup:   {speedup:8.2f}x  (results identical: "
+          f"{ref['result_hash']})")
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "workload": "quick" if quick else "full",
+        "reference_seconds": ref["seconds"],
+        "fast_seconds": fast["seconds"],
+        "speedup": round(speedup, 2),
+        "result_hash": ref["result_hash"],
+        "kernel_memo_hit_rate": fast["kernel_memo_hit_rate"],
+        "stream_cache_hits": fast["stream_cache_hits"],
+        "fast_perf_seconds": fast["perf_seconds"],
+    }
+    trajectory = []
+    if os.path.exists(ns.output):
+        try:
+            with open(ns.output) as fh:
+                trajectory = json.load(fh)
+        except (ValueError, OSError):
+            trajectory = []
+    trajectory.append(record)
+    with open(ns.output, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    print(f"recorded -> {os.path.relpath(ns.output, ROOT)}")
+
+
+if __name__ == "__main__":
+    main()

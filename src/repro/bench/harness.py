@@ -34,7 +34,7 @@ RESULTS_DIR = os.path.join(
     "benchmarks", "out",
 )
 
-_SCHEDULES: Dict[int, ScheduleResult] = {}
+_SCHEDULES: Dict[str, ScheduleResult] = {}
 _RUNTIMES: Dict[OursOptions, OursRuntime] = {}
 
 
@@ -51,8 +51,13 @@ def sweep_config() -> GPUConfig:
 
 
 def cached_schedule(graph: CSRGraph) -> ScheduleResult:
-    """Locality-aware schedule, computed once per graph per process."""
-    key = id(graph.indptr)
+    """Locality-aware schedule, computed once per graph per process.
+
+    Keyed by the graph's structural fingerprint: ``id()`` keys alias
+    once the original arrays are garbage-collected and the allocator
+    recycles the address, silently returning another graph's schedule.
+    """
+    key = graph.fingerprint
     if key not in _SCHEDULES:
         _SCHEDULES[key] = locality_aware_schedule(graph)
     return _SCHEDULES[key]

@@ -158,7 +158,7 @@ def aggregation_kernel(
         name=name,
         block_flops=flops,
         row_ptr=g.group_ptr,
-        row_ids=graph.indices.astype(np.int64),
+        row_ids=graph.indices64,
         row_bytes=int(
             effective_row_bytes(feat_len, config, layout.packed_rows)
             * uncoalesced
@@ -324,7 +324,7 @@ def edge_expansion_kernel(
         name=name,
         block_flops=np.zeros(blocks),
         row_ptr=row_ptr,
-        row_ids=graph.indices.astype(np.int64),
+        row_ids=graph.indices64,
         row_bytes=effective_row_bytes(feat_len, config, False),
         stream_bytes=stream,
         counts_launch=counts_launch,

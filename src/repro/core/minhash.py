@@ -23,6 +23,7 @@ from typing import Tuple
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..perf import fastpath_enabled
 
 __all__ = [
     "MinHashSignature",
@@ -64,13 +65,67 @@ def minhash_signatures(
     if graph.num_edges:
         neigh = graph.indices.astype(np.int64)
         starts = graph.indptr[:-1][nonempty]
-        for h in range(num_hashes):
-            # Universal hash evaluated on every edge endpoint, then
-            # min-reduced per center row.  Python-level loop is over the
-            # (small) hash count, not the edges.
-            vals = (a[h] * neigh + b[h]) % _MERSENNE_P
-            out[h, nonempty] = np.minimum.reduceat(vals, starts)
+        if not fastpath_enabled():
+            for h in range(num_hashes):
+                # Universal hash evaluated on every edge endpoint, then
+                # min-reduced per center row (reference: loop over hashes).
+                vals = (a[h] * neigh + b[h]) % _MERSENNE_P
+                out[h, nonempty] = np.minimum.reduceat(vals, starts)
+        else:
+            out[:, nonempty] = _batched_minima(
+                neigh, starts, n, a, b
+            )
     return MinHashSignature(matrix=out, empty=~nonempty)
+
+
+#: Reusable 2D scratch for :func:`_batched_minima` — gathers are sized by
+#: the edge count, and re-faulting a fresh large buffer per call costs
+#: more than the arithmetic it holds.
+_GATHER_SCRATCH: list = [None]
+
+#: Upper bound on scratch elements (rows x edges) per reduceat batch.
+_BATCH_ELEMS = 1 << 23
+
+
+def _batched_minima(
+    neigh: np.ndarray,
+    starts: np.ndarray,
+    num_nodes: int,
+    a: np.ndarray,
+    b: np.ndarray,
+) -> np.ndarray:
+    """Per-row minima of every universal hash, batched.
+
+    The hash value depends only on the node id, so each function is
+    evaluated once per *node* (an ``[num_hashes, N]`` table, O(N·H)
+    multiplies instead of the reference's O(E·H)), then gathered per edge
+    endpoint and min-reduced for all batched rows in a single
+    ``np.minimum.reduceat(..., axis=1)`` pass.  Values are the same
+    int64 wraparound arithmetic as the reference, so signatures match
+    bit for bit.
+    """
+    num_hashes = a.shape[0]
+    edges = neigh.shape[0]
+    ids = np.arange(num_nodes, dtype=np.int64)
+    table = np.empty((num_hashes, num_nodes), dtype=np.int64)
+    for h in range(num_hashes):
+        row = table[h]
+        np.multiply(ids, a[h], out=row)
+        row += b[h]
+        row %= _MERSENNE_P
+    rows = max(1, min(num_hashes, _BATCH_ELEMS // max(edges, 1)))
+    buf = _GATHER_SCRATCH[0]
+    if buf is None or buf.shape[0] < rows or buf.shape[1] != edges:
+        buf = np.empty((rows, edges), dtype=np.int64)
+        _GATHER_SCRATCH[0] = buf
+    out = np.empty((num_hashes, starts.shape[0]), dtype=np.int64)
+    for h0 in range(0, num_hashes, rows):
+        h1 = min(h0 + rows, num_hashes)
+        r = h1 - h0
+        for j in range(r):
+            np.take(table[h0 + j], neigh, out=buf[j])
+        out[h0:h1] = np.minimum.reduceat(buf[:r], starts, axis=1)
+    return out
 
 
 def signature_similarity(

@@ -14,7 +14,7 @@ graph; a stale artifact (graph changed) is detected and recomputed.
 
 from __future__ import annotations
 
-import hashlib
+import dataclasses
 import json
 import os
 from typing import Optional
@@ -22,6 +22,7 @@ from typing import Optional
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..gpusim.metrics import KernelStats
 from .scheduling import ScheduleResult, locality_aware_schedule
 from .tuner import TuningResult
 
@@ -32,15 +33,19 @@ __all__ = [
     "schedule_with_cache",
     "save_tuning",
     "load_tuning",
+    "save_kernel_stats",
+    "load_kernel_stats",
 ]
 
 
 def graph_fingerprint(graph: CSRGraph) -> str:
-    """Structural hash: changes iff the CSR structure changes."""
-    h = hashlib.sha256()
-    h.update(graph.indptr.tobytes())
-    h.update(graph.indices.tobytes())
-    return h.hexdigest()[:16]
+    """Structural hash: changes iff the CSR structure changes.
+
+    Delegates to :attr:`CSRGraph.fingerprint`, which caches the digest
+    per instance, so artifact lookups in hot loops cost one attribute
+    read instead of re-hashing the edge arrays.
+    """
+    return graph.fingerprint
 
 
 def save_schedule(
@@ -127,26 +132,67 @@ def load_tuning(
     """Load a tuning result if present and valid for (graph, feat)."""
     if not os.path.exists(path):
         return None
-    with open(path) as fh:
-        payload = json.load(fh)
-    if (
-        payload["fingerprint"] != graph_fingerprint(graph)
-        or payload["feat_len"] != feat_len
-    ):
-        return None
-    from ..gpusim.occupancy import LaunchConfig
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+        if (
+            payload["fingerprint"] != graph_fingerprint(graph)
+            or payload["feat_len"] != feat_len
+        ):
+            return None
+        from ..gpusim.occupancy import LaunchConfig
 
-    return TuningResult(
-        bound=payload["bound"],
-        lanes=payload["lanes"],
-        packed_rows=payload["packed_rows"],
-        rounds=payload["rounds"],
-        trace={int(k): v for k, v in payload["trace"].items()},
-        baseline_seconds=payload["baseline_seconds"],
-        launch=LaunchConfig(
-            payload["threads_per_block"],
-            payload["registers_per_thread"],
-            payload["shared_per_block"],
-        ),
-        resident_blocks_per_sm=payload["resident_blocks_per_sm"],
-    )
+        return TuningResult(
+            bound=payload["bound"],
+            lanes=payload["lanes"],
+            packed_rows=payload["packed_rows"],
+            rounds=payload["rounds"],
+            trace={int(k): v for k, v in payload["trace"].items()},
+            baseline_seconds=payload["baseline_seconds"],
+            launch=LaunchConfig(
+                payload["threads_per_block"],
+                payload["registers_per_thread"],
+                payload["shared_per_block"],
+            ),
+            resident_blocks_per_sm=payload["resident_blocks_per_sm"],
+        )
+    except (KeyError, ValueError, TypeError):
+        # Artifact written by an older/newer version (missing or
+        # malformed keys): treat as a cache miss, not an error.
+        return None
+
+
+def save_kernel_stats(path: str, stats: KernelStats) -> None:
+    """Persist one simulated :class:`KernelStats` (on-disk memo tier).
+
+    Written atomically (rename) so concurrent suite processes sharing a
+    cache directory never observe a torn file.
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    payload = dataclasses.asdict(stats)
+    # JSON object keys are strings; occupancy thresholds are floats.
+    payload["occupancy"] = {
+        str(k): v for k, v in stats.occupancy.items()
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)
+
+
+def load_kernel_stats(path: str) -> Optional[KernelStats]:
+    """Load a persisted :class:`KernelStats`, ``None`` if absent/invalid."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+        payload["occupancy"] = {
+            float(k): float(v) for k, v in payload["occupancy"].items()
+        }
+        field_names = {f.name for f in dataclasses.fields(KernelStats)}
+        if set(payload) != field_names:
+            return None  # schema drift: recompute rather than guess
+        return KernelStats(**payload)
+    except (KeyError, ValueError, TypeError, json.JSONDecodeError):
+        return None

@@ -35,7 +35,6 @@ from .minhash import (
     MinHashSignature,
     lsh_candidate_pairs,
     minhash_signatures,
-    signature_similarity,
 )
 
 __all__ = ["ScheduleResult", "locality_aware_schedule", "cluster_sizes"]
@@ -121,6 +120,12 @@ def _merge_pairs(
     ]
     heapq.heapify(heap)
     seen = set()
+    # Scalar re-pair similarity: row-contiguous signature matrix makes the
+    # per-pair compare two tiny slices instead of a full
+    # signature_similarity call (same count/num_hashes float, bit for bit).
+    sig_rows = np.ascontiguousarray(sig.matrix.T)
+    empty = sig.empty
+    num_hashes = sig_rows.shape[1]
     while heap:
         neg_s, u, v = heapq.heappop(heap)
         ru, rv = dsu.find(u), dsu.find(v)
@@ -137,11 +142,11 @@ def _merge_pairs(
         if key in seen:
             continue
         seen.add(key)
-        s = float(
-            signature_similarity(
-                sig, np.array([ru]), np.array([rv])
-            )[0]
-        )
+        if empty[ru] and empty[rv]:
+            s = 0.0
+        else:
+            s = np.count_nonzero(
+                sig_rows[ru] == sig_rows[rv]) / num_hashes
         if s >= min_similarity:
             heapq.heappush(heap, (-s, key[0], key[1]))
     return dsu

@@ -27,8 +27,10 @@ import numpy as np
 
 from ..gpusim.config import GPUConfig
 from ..gpusim.executor import simulate_kernel
+from ..gpusim.memo import LRUCache
 from ..gpusim.occupancy import LaunchConfig, SMResources, blocks_per_sm
 from ..graph.csr import CSRGraph
+from ..perf import memo_enabled
 from .grouping import identity_grouping, neighbor_grouping
 from .lowering import ExecLayout, aggregation_kernel
 
@@ -58,7 +60,7 @@ class TuningResult:
         self, graph: CSRGraph, center_order: Optional[np.ndarray] = None
     ) -> ExecLayout:
         grouping = (
-            neighbor_grouping(graph, self.bound)
+            _cached_grouping(graph, self.bound)
             if self.bound is not None
             else identity_grouping(graph)
         )
@@ -124,6 +126,23 @@ def pick_launch_config(
     return best
 
 
+#: Grouping plans are pure functions of (graph structure, bound); the
+#: sweep re-tunes the same graph at every feature length, so cache them
+#: content-keyed across rounds and calls.
+_GROUPING_CACHE = LRUCache(max_entries=256, name="grouping_cache")
+
+
+def _cached_grouping(graph: CSRGraph, bound: int):
+    if not memo_enabled():
+        return neighbor_grouping(graph, bound)
+    key = (graph.fingerprint, bound)
+    plan = _GROUPING_CACHE.get(key)
+    if plan is None:
+        plan = neighbor_grouping(graph, bound)
+        _GROUPING_CACHE.put(key, plan)
+    return plan
+
+
 def tune(
     graph: CSRGraph,
     feat_len: int,
@@ -149,7 +168,7 @@ def tune(
     bounds = candidate_bounds(graph, max_rounds=max_rounds)
     for bound in bounds:
         layout = ExecLayout(
-            grouping=neighbor_grouping(graph, bound),
+            grouping=_cached_grouping(graph, bound),
             center_order=center_order,
             lanes=lanes,
             packed_rows=True,

@@ -37,7 +37,7 @@ from ..core.lowering import (
 )
 from ..core.scheduling import locality_aware_schedule
 from ..core.sparse_fetch import SageStrategy, lower_sage_lstm
-from ..core.tuner import pick_lanes, tune
+from ..core.tuner import _cached_grouping, pick_lanes, tune
 from ..gpusim.config import GPUConfig
 from ..gpusim.executor import simulate_kernels
 from ..gpusim.kernel import KernelSpec
@@ -90,8 +90,8 @@ class OursRuntime(Framework):
         cache through this hook)."""
         self.options = options
         self._schedule_fn = schedule_fn or locality_aware_schedule
-        self._schedule_cache: Dict[int, np.ndarray] = {}
-        self._tune_cache: Dict[Tuple[int, int], Optional[int]] = {}
+        self._schedule_cache: Dict[str, np.ndarray] = {}
+        self._tune_cache: Dict[Tuple[str, int], Optional[int]] = {}
 
     # ------------------------------------------------------------------
     # Analysis caches
@@ -100,7 +100,7 @@ class OursRuntime(Framework):
         """Offline locality-aware order, cached per graph."""
         if not self.options.locality_scheduling:
             return None
-        key = id(graph.indptr)
+        key = graph.fingerprint
         if key not in self._schedule_cache:
             self._schedule_cache[key] = self._schedule_fn(graph).order
         return self._schedule_cache[key]
@@ -116,7 +116,7 @@ class OursRuntime(Framework):
         if not self.options.tuned:
             # Untuned default: one warp's worth of neighbors.
             return 32
-        key = (id(graph.indptr), feat_len)
+        key = (graph.fingerprint, feat_len)
         if key not in self._tune_cache:
             # May be None: the tuner found grouping unprofitable (e.g. on
             # low-variance graphs like protein, where Fig. 8 shows NG
@@ -129,7 +129,7 @@ class OursRuntime(Framework):
     ) -> ExecLayout:
         bound = self.ng_bound(graph, feat_len, sim)
         grouping = (
-            neighbor_grouping(graph, bound)
+            _cached_grouping(graph, bound)
             if bound is not None
             else identity_grouping(graph)
         )

@@ -41,11 +41,11 @@ from .ours import OursRuntime
 
 __all__ = ["lower_gcn_backward", "gcn_epoch_report"]
 
-_REVERSE_CACHE: Dict[int, CSRGraph] = {}
+_REVERSE_CACHE: Dict[str, CSRGraph] = {}
 
 
 def _reversed(graph: CSRGraph) -> CSRGraph:
-    key = id(graph.indptr)
+    key = graph.fingerprint
     if key not in _REVERSE_CACHE:
         _REVERSE_CACHE[key] = graph.reverse()
     return _REVERSE_CACHE[key]

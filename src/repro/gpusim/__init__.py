@@ -10,6 +10,7 @@ from .cache import (
 from .config import V100, V100_SCALED, GPUConfig
 from .executor import block_durations, simulate_kernel, simulate_kernels
 from .kernel import KernelSpec
+from .memo import KERNEL_MEMO, STREAM_CACHE, clear_caches, memo_stats
 from .memory import DeviceMemory, SimulatedOOM, tensor_bytes
 from .metrics import KernelStats, RunReport, occupancy_below
 from .occupancy import LaunchConfig, SMResources, blocks_per_sm, occupancy
@@ -27,6 +28,10 @@ __all__ = [
     "simulate_kernel",
     "simulate_kernels",
     "KernelSpec",
+    "KERNEL_MEMO",
+    "STREAM_CACHE",
+    "clear_caches",
+    "memo_stats",
     "DeviceMemory",
     "SimulatedOOM",
     "tensor_bytes",

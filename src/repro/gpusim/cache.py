@@ -15,40 +15,91 @@ Two models:
   vectorized, and order-sensitive — the property every scheduling
   experiment relies on.  Tests validate it against the exact model.
 
-* :func:`lru_hits` — exact LRU via reuse (stack) distances computed with a
-  Fenwick tree, O(n log n) in Python.  Used for validation and small runs
-  (``GPUConfig.cache_model == "lru"``).
+* :func:`lru_hits` — exact LRU via reuse (stack) distances.  The default
+  implementation batch-counts distinct rows per reuse window with a
+  wavelet tree built level-by-level in numpy (O(n log n) work, ~log n
+  vectorized passes); the original per-access Fenwick sweep is kept as
+  :func:`_reuse_distances_reference` for validation and runs when
+  fast paths are disabled (``repro.perf.configure(fastpath=False)``).
 
 Both return a boolean hit mask aligned with the access stream; first
 touches (compulsory misses) are always misses.
+
+Everything downstream of :func:`previous_occurrence` is a pure function
+of the ``prev`` array, so the executor caches ``prev`` per stream
+content (:mod:`repro.gpusim.memo`) and calls the ``*_from_prev``
+variants directly.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+try:  # pragma: no cover - scipy is a declared dependency
+    from scipy.sparse import _sparsetools as _sptools
+except ImportError:  # pragma: no cover
+    _sptools = None
+
+from ..perf import fastpath_enabled
+
 __all__ = [
     "previous_occurrence",
     "window_hits",
+    "window_hits_from_prev",
     "lru_hits",
     "reuse_distances",
+    "reuse_distances_from_prev",
     "hit_mask",
     "effective_window",
     "estimate_distinct_in_window",
 ]
 
 
+def _group_by_value(stream: np.ndarray) -> "np.ndarray | None":
+    """Stream positions grouped by row id, index-ascending within a group.
+
+    Equivalent to ``np.argsort(stream, kind="stable")`` but O(n): row ids
+    are small non-negative ints, so a counting sort (scipy's C coo->csr
+    row-grouping pass, which is stable and does not merge duplicates)
+    replaces the comparison sort.  Returns ``None`` when the
+    preconditions don't hold and the caller must argsort.
+    """
+    if _sptools is None or stream.dtype.kind not in "iu":
+        return None
+    n = stream.shape[0]
+    if n >= np.iinfo(np.int32).max:
+        return None
+    lo = int(stream.min())
+    hi = int(stream.max())
+    if lo < 0 or hi > 50_000_000:  # indptr stays small vs the stream
+        return None
+    nvals = hi + 1
+    rows = stream.astype(np.int32, copy=False)
+    cols = np.zeros(n, dtype=np.int32)
+    indptr = np.zeros(nvals + 1, dtype=np.int32)
+    indices = np.empty(n, dtype=np.int32)
+    order = np.empty(n, dtype=np.int64)
+    _sptools.coo_tocsr(
+        nvals, 1, n, rows, cols, np.arange(n, dtype=np.int64),
+        indptr, indices, order,
+    )
+    return order
+
+
 def previous_occurrence(stream: np.ndarray) -> np.ndarray:
     """For each position, the index of the previous access to the same row.
 
     Returns ``int64[n]`` with ``-1`` where the access is a first touch.
-    Vectorized: stable argsort groups accesses per row in stream order.
+    Vectorized: grouping accesses per row in stream order (stable argsort,
+    or an O(n) counting sort when the fast path is on).
     """
     stream = np.asarray(stream)
     n = stream.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.int64)
-    order = np.argsort(stream, kind="stable")
+    order = _group_by_value(stream) if fastpath_enabled() else None
+    if order is None:
+        order = np.argsort(stream, kind="stable")
     sorted_rows = stream[order]
     prev = np.full(n, -1, dtype=np.int64)
     same = sorted_rows[1:] == sorted_rows[:-1]
@@ -93,12 +144,11 @@ def effective_window(
     to the stream's local duplication — hot-hub streams get modest
     windows, community-ordered streams get wide ones.
     """
-    stream = np.asarray(stream)
-    n = stream.shape[0]
+    if prev is None:
+        prev = previous_occurrence(np.asarray(stream))
+    n = prev.shape[0]
     if n == 0:
         return 0
-    if prev is None:
-        prev = previous_occurrence(stream)
     if estimate_distinct_in_window(prev, n) <= capacity_rows:
         return n
     lo, hi = max(1, capacity_rows), n
@@ -109,6 +159,19 @@ def effective_window(
         else:
             hi = mid
     return lo
+
+
+def window_hits_from_prev(
+    prev: np.ndarray, capacity_rows: int, window: int | None = None
+) -> np.ndarray:
+    """:func:`window_hits` given a precomputed previous-occurrence array."""
+    n = prev.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if window is None:
+        window = effective_window(None, capacity_rows, prev=prev)
+    gap = np.arange(n, dtype=np.int64) - prev
+    return (prev >= 0) & (gap <= max(window, 1))
 
 
 def window_hits(
@@ -122,14 +185,10 @@ def window_hits(
     cache capacity (Denning's working-set approximation of LRU).
     """
     stream = np.asarray(stream)
-    n = stream.shape[0]
-    if n == 0:
+    if stream.shape[0] == 0:
         return np.zeros(0, dtype=bool)
     prev = previous_occurrence(stream)
-    if window is None:
-        window = effective_window(stream, capacity_rows, prev=prev)
-    gap = np.arange(n, dtype=np.int64) - prev
-    return (prev >= 0) & (gap <= max(window, 1))
+    return window_hits_from_prev(prev, capacity_rows, window=window)
 
 
 class _Fenwick:
@@ -159,13 +218,13 @@ class _Fenwick:
         return int(s)
 
 
-def reuse_distances(stream: np.ndarray) -> np.ndarray:
-    """Exact LRU stack distances (number of *distinct* rows touched since
-    the previous access to the same row); ``-1`` marks first touches.
+def _reuse_distances_reference(stream: np.ndarray) -> np.ndarray:
+    """Per-access Fenwick sweep (the pre-vectorization reference).
 
-    Classic offline sweep: keep a Fenwick tree with a 1 at the most recent
-    position of every distinct row; the stack distance at position ``i``
-    for a row last seen at ``p`` is the number of ones in ``(p, i)``.
+    Classic offline algorithm: keep a Fenwick tree with a 1 at the most
+    recent position of every distinct row; the stack distance at position
+    ``i`` for a row last seen at ``p`` is the number of ones in
+    ``(p, i)``.  O(n log n) with a Python-level loop over accesses.
     """
     stream = np.asarray(stream)
     n = stream.shape[0]
@@ -180,6 +239,89 @@ def reuse_distances(stream: np.ndarray) -> np.ndarray:
             fen.add(int(p), -1)
         fen.add(i, 1)
     return out
+
+
+def _wavelet_rank_le(
+    vals: np.ndarray, plen: np.ndarray, y: np.ndarray, upper: int
+) -> np.ndarray:
+    """Batched prefix rank: for each query ``k``, the number of positions
+    ``j < plen[k]`` with ``vals[j] <= y[k]`` (``vals``/``y`` in
+    ``[0, upper]``).
+
+    A wavelet tree over ``vals`` answers all queries together: each bit
+    level stably partitions the array by that bit (one vectorized pass)
+    while every query walks down, accumulating the size of the left
+    subtrees it skips.  Levels are built on the fly and discarded, so
+    peak memory is O(n + q).
+    """
+    nbits = max(1, int(upper).bit_length())
+    # Positions and values both fit int32 for any stream the simulator
+    # produces; narrower lanes halve the gather traffic below.
+    idx_t = np.int32 if vals.shape[0] < 2**31 - 1 else np.int64
+    arr = np.asarray(vals, dtype=idx_t)
+    y = np.asarray(y, dtype=idx_t)
+    n = arr.shape[0]
+    acc = np.zeros(plen.shape[0], dtype=np.int64)
+    node_start = np.zeros(plen.shape[0], dtype=idx_t)
+    node_end = np.full(plen.shape[0], n, dtype=idx_t)
+    pos = np.asarray(plen, dtype=idx_t).copy()
+    zp = np.empty(n + 1, dtype=idx_t)
+    for level in range(nbits - 1, -1, -1):
+        zeros = ((arr >> level) & 1) == 0
+        zp[0] = 0
+        np.cumsum(zeros, out=zp[1:])
+        zn = zp[-1]
+        zs, ze, zpos = zp[node_start], zp[node_end], zp[pos]
+        go_right = ((y >> level) & 1) == 1
+        # Left-subtree elements inside this node's prefix are all <= y
+        # when y's bit is set; bank them and descend right.
+        acc[go_right] += (zpos - zs)[go_right]
+        node_start = np.where(go_right, zn + (node_start - zs), zs)
+        node_end = np.where(go_right, zn + (node_end - ze), ze)
+        pos = np.where(go_right, zn + (pos - zpos), zpos)
+        arr = np.concatenate([arr[zeros], arr[~zeros]])
+    # The final node holds elements equal to y; prefix members count.
+    return acc + (pos - node_start)
+
+
+def reuse_distances_from_prev(prev: np.ndarray) -> np.ndarray:
+    """Exact LRU stack distances from a previous-occurrence array.
+
+    The stack distance at ``i`` is the number of distinct rows touched in
+    ``(prev[i], i)``; each such row contributes exactly one *first* touch
+    ``j`` there, characterized by ``prev[j] <= prev[i]``.  With
+    ``A(x, y) = #{j <= x : prev[j] <= y}`` this is
+    ``A(i-1, p) - A(p, p)`` — a batch of prefix rank queries answered in
+    ~log n vectorized passes by :func:`_wavelet_rank_le`.
+    """
+    prev = np.asarray(prev, dtype=np.int64)
+    n = prev.shape[0]
+    out = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return out
+    q = np.nonzero(prev >= 0)[0]
+    if q.size == 0:
+        return out
+    p = prev[q]
+    vals = prev + 1  # shift first-touch marker into [0, n]
+    plen = np.concatenate([q, p + 1])  # prefixes [0, i) and [0, p]
+    y = np.concatenate([p + 1, p + 1])
+    ranks = _wavelet_rank_le(vals, plen, y, upper=n)
+    m = q.shape[0]
+    out[q] = ranks[:m] - ranks[m:]
+    return out
+
+
+def reuse_distances(stream: np.ndarray) -> np.ndarray:
+    """Exact LRU stack distances (number of *distinct* rows touched since
+    the previous access to the same row); ``-1`` marks first touches.
+    """
+    stream = np.asarray(stream)
+    if not fastpath_enabled():
+        return _reuse_distances_reference(stream)
+    if stream.shape[0] == 0:
+        return np.full(0, -1, dtype=np.int64)
+    return reuse_distances_from_prev(previous_occurrence(stream))
 
 
 def lru_hits(stream: np.ndarray, capacity_rows: int) -> np.ndarray:

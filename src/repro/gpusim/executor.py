@@ -16,18 +16,39 @@ Issue order approximates hardware dispatch order: blocks adjacent in the
 array run concurrently, which is exactly the contract the paper's task
 scheduling relies on ("distribute tasks of nodes in the same cluster into
 adjacent computing units").
+
+Performance layer (see DESIGN.md "Performance architecture"):
+
+* the list scheduler runs wave-by-wave in numpy, falling back to the
+  reference binary heap only for the irregular tail of a wave;
+* stream analyses (issue permutation + previous-occurrence array) and
+  whole :class:`KernelStats` are memoized content-addressed in
+  :mod:`repro.gpusim.memo`, so ablation variants and tuner rounds stop
+  re-simulating shared kernels;
+* the cache-model and scheduling stages report wall-clock into
+  :data:`repro.perf.PERF`; ``simulate_kernels`` attaches the per-run
+  delta to ``RunReport.extra["perf"]``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
-from .cache import hit_mask
+from ..perf import PERF, fastpath_enabled, memo_enabled
+from .cache import (
+    effective_window,
+    hit_mask,
+    previous_occurrence,
+    reuse_distances_from_prev,
+    window_hits_from_prev,
+)
 from .config import GPUConfig
 from .kernel import KernelSpec
+from .memo import KERNEL_MEMO, STREAM_CACHE, StreamPlan, array_digest, memo_stats
 from .metrics import KernelStats, RunReport, occupancy_below
 
 __all__ = [
@@ -64,7 +85,61 @@ def interleaved_order(
     # co-resident.
     starts, _ = _list_schedule(lengths.astype(np.float64), num_slots)
     tick = starts[block_of] + offset
+    if fastpath_enabled() and total < (1 << 30):
+        # One radix argsort instead of a three-key lexsort.  ``tick`` is
+        # integer-valued (sums of integer lengths) and < 2*total, so
+        # ``(tick << 31) | offset`` fits int64 and orders by
+        # (tick, offset); a *stable* sort breaks remaining ties by array
+        # index, which within a fixed offset increases with block id —
+        # exactly lexsort's (tick, offset, block) order.
+        key = (tick.astype(np.int64) << 31) + offset
+        return np.argsort(key, kind="stable")
     return np.lexsort((block_of, offset, tick))
+
+
+# ----------------------------------------------------------------------
+# Stream analysis (content-cached)
+# ----------------------------------------------------------------------
+
+def _stream_plan(
+    row_ptr: np.ndarray, row_ids: np.ndarray, num_slots: int
+) -> StreamPlan:
+    """Issue permutation + previous-occurrence array for one stream.
+
+    Keyed by stream *content*, so every kernel sharing a block layout and
+    row stream (tuner rounds at different feature lengths, ablation
+    variants, repeated layers) reuses the argsort-heavy analysis.
+    """
+    key = None
+    if memo_enabled():
+        key = (array_digest(row_ptr), array_digest(row_ids), num_slots)
+        plan = STREAM_CACHE.get(key)
+        if plan is not None:
+            return plan
+    perm = interleaved_order(row_ptr, num_slots)
+    prev = previous_occurrence(row_ids[perm])
+    plan = StreamPlan(perm=perm, prev=prev)
+    if key is not None:
+        STREAM_CACHE.put(key, plan, nbytes=plan.nbytes)
+    return plan
+
+
+def _plan_hits(
+    plan: StreamPlan, capacity: int, model: str
+) -> np.ndarray:
+    """Hit mask (in permuted order) from a cached stream analysis."""
+    if model == "window":
+        window = plan.windows.get(capacity)
+        if window is None:
+            window = effective_window(None, capacity, prev=plan.prev)
+            plan.windows[capacity] = window
+        return window_hits_from_prev(plan.prev, capacity, window=window)
+    if model == "lru":
+        if plan.lru_distances is None:
+            plan.lru_distances = reuse_distances_from_prev(plan.prev)
+        dist = plan.lru_distances
+        return (dist >= 0) & (dist < capacity)
+    raise ValueError(f"unknown cache model {model!r}")
 
 
 def _row_hit_counts(
@@ -78,6 +153,8 @@ def _row_hit_counts(
     limit = config.cache_trace_limit
     row_ptr = kernel.row_ptr
     row_ids = kernel.row_ids
+    slots = config.total_block_slots
+    use_plan = fastpath_enabled() or memo_enabled()
     if row_ids.shape[0] > limit:
         # Sample a contiguous block prefix: hit *rates* are stationary in
         # block order, so a window estimates the full-stream rate
@@ -86,15 +163,23 @@ def _row_hit_counts(
         cut_block = max(cut_block, 1)
         cut = int(row_ptr[cut_block])
         sub_ptr = row_ptr[: cut_block + 1]
-        perm = interleaved_order(sub_ptr, config.total_block_slots)
-        hits_win = hit_mask(
-            row_ids[:cut][perm], capacity, config.cache_model
-        )
+        sub_ids = row_ids[:cut]
+        if use_plan:
+            plan = _stream_plan(sub_ptr, sub_ids, slots)
+            hits_win = _plan_hits(plan, capacity, config.cache_model)
+        else:
+            perm = interleaved_order(sub_ptr, slots)
+            hits_win = hit_mask(sub_ids[perm], capacity, config.cache_model)
         rate = float(hits_win.mean()) if hits_win.size else 0.0
         per_block_rows = np.diff(row_ptr).astype(np.float64)
         return per_block_rows * rate, rate
-    perm = interleaved_order(row_ptr, config.total_block_slots)
-    hits_sorted = hit_mask(row_ids[perm], capacity, config.cache_model)
+    if use_plan:
+        plan = _stream_plan(row_ptr, row_ids, slots)
+        perm = plan.perm
+        hits_sorted = _plan_hits(plan, capacity, config.cache_model)
+    else:
+        perm = interleaved_order(row_ptr, slots)
+        hits_sorted = hit_mask(row_ids[perm], capacity, config.cache_model)
     hits = np.empty_like(hits_sorted)
     hits[perm] = hits_sorted
     # Aggregate hits per block. reduceat needs non-empty rows handled.
@@ -114,7 +199,8 @@ def block_durations(
     kernel: KernelSpec, config: GPUConfig
 ) -> Tuple[np.ndarray, np.ndarray, float]:
     """Price each block; returns (durations, row_hit_counts, hit_rate)."""
-    hit_counts, hit_rate = _row_hit_counts(kernel, config)
+    with PERF.stage("cache_model"):
+        hit_counts, hit_rate = _row_hit_counts(kernel, config)
     rows = (
         np.diff(kernel.row_ptr).astype(np.float64)
         if kernel.row_ptr is not None
@@ -138,24 +224,20 @@ def block_durations(
     return dur, hit_counts, hit_rate
 
 
-def _list_schedule(
+# ----------------------------------------------------------------------
+# List scheduling
+# ----------------------------------------------------------------------
+
+def _list_schedule_reference(
     durations: np.ndarray, slots: int
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Greedy earliest-free-slot schedule; returns (starts, ends)."""
+    """Greedy earliest-free-slot schedule via a binary heap (reference)."""
     b = durations.shape[0]
     if b == 0:
         return np.zeros(0), np.zeros(0)
     if b <= slots:
         starts = np.zeros(b)
         return starts, durations.copy()
-    # Fast path: (near-)uniform durations schedule round-robin exactly.
-    dmin, dmax = float(durations.min()), float(durations.max())
-    if dmax - dmin <= 1e-12 * max(dmax, 1e-30):
-        waves, lane = np.divmod(np.arange(b, dtype=np.int64), slots)
-        starts = waves * dmax
-        del lane
-        return starts.astype(np.float64), starts + durations
-    # General path: binary heap of slot free times.
     heap = [(0.0, s) for s in range(slots)]
     heapq.heapify(heap)
     starts = np.empty(b)
@@ -170,19 +252,106 @@ def _list_schedule(
     return starts, ends
 
 
-def simulate_kernel(
-    kernel: KernelSpec, config: GPUConfig, dispatch_overhead: float = 0.0
-) -> KernelStats:
-    """Run one kernel through the cache, pricing and scheduling models.
+def _wave_schedule(
+    durations: np.ndarray, slots: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Wave-decomposed greedy schedule, bit-identical to the heap.
 
-    ``dispatch_overhead`` is the per-operator host-side framework cost
-    (Observation 3's "framework scheduling"); baselines dispatch every
-    computation-graph op through the framework runtime, fused runtimes
-    pay it once per fused kernel.
+    Maintain the sorted multiset of slot free times.  A wave of up to
+    ``slots`` blocks can be assigned in one shot — block ``j`` to the
+    ``j``-th earliest free slot — exactly when no block's freshly
+    created end time undercuts a later block's claimed slot:
+    ``free[j] <= min(ends of blocks < j in the wave)``.  The longest
+    valid prefix of every wave is assigned vectorized; only the
+    (rare) irregular remainder of a wave goes through the heap.  Every
+    start/end is produced by the same float additions as the reference,
+    so results are bit-identical, not just equal makespans.
     """
+    b = durations.shape[0]
+    starts = np.empty(b)
+    ends = np.empty(b)
+    free = np.zeros(slots)  # sorted ascending
+    i = 0
+    accepted = 0
+    while i < b:
+        if i >= 8 * slots and accepted < i // 2:
+            # Genuinely irregular duration mix: the vectorized prefix
+            # keeps collapsing, so per-wave numpy overhead exceeds the
+            # heap's.  Finish the whole remainder there (same float
+            # additions, so still bit-identical).
+            heap = free.tolist()
+            heapq.heapify(heap)
+            push, pop = heapq.heappush, heapq.heappop
+            for j in range(i, b):
+                s = pop(heap)
+                starts[j] = s
+                e = s + durations[j]
+                ends[j] = e
+                push(heap, e)
+            return starts, ends
+        c = min(slots, b - i)
+        d = durations[i : i + c]
+        fc = free[:c]
+        new_ends = fc + d
+        cap = np.minimum.accumulate(new_ends)
+        ok = fc[1:] <= cap[:-1]
+        m = c if ok.all() else int(np.argmin(ok)) + 1
+        starts[i : i + m] = fc[:m]
+        ends[i : i + m] = new_ends[:m]
+        accepted += m
+        if m < c:
+            # Irregular tail of this wave (e.g. a hub slot still busy):
+            # finish it with the reference heap over the live multiset.
+            heap = np.concatenate([free[m:], new_ends[:m]]).tolist()
+            heapq.heapify(heap)
+            push, pop = heapq.heappush, heapq.heappop
+            for j in range(i + m, i + c):
+                s = pop(heap)
+                starts[j] = s
+                e = s + durations[j]
+                ends[j] = e
+                push(heap, e)
+            free = np.sort(np.asarray(heap))
+        elif c == slots:
+            free = np.sort(new_ends)
+        else:  # final partial wave: free times no longer needed
+            free = np.sort(np.concatenate([free[c:], new_ends]))
+        i += c
+    return starts, ends
+
+
+def _list_schedule(
+    durations: np.ndarray, slots: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Greedy earliest-free-slot schedule; returns (starts, ends)."""
+    b = durations.shape[0]
+    if b == 0:
+        return np.zeros(0), np.zeros(0)
+    if b <= slots:
+        starts = np.zeros(b)
+        return starts, durations.copy()
+    # Fast path: (near-)uniform durations schedule round-robin exactly.
+    dmin, dmax = float(durations.min()), float(durations.max())
+    if dmax - dmin <= 1e-12 * max(dmax, 1e-30):
+        waves = np.arange(b, dtype=np.int64) // slots
+        starts = waves * dmax
+        return starts.astype(np.float64), starts + durations
+    if not fastpath_enabled():
+        return _list_schedule_reference(durations, slots)
+    return _wave_schedule(durations, slots)
+
+
+# ----------------------------------------------------------------------
+# Kernel simulation
+# ----------------------------------------------------------------------
+
+def _simulate_kernel_cold(
+    kernel: KernelSpec, config: GPUConfig, dispatch_overhead: float
+) -> KernelStats:
     durations, hit_counts, _ = block_durations(kernel, config)
     slots = config.total_block_slots
-    starts, ends = _list_schedule(durations, slots)
+    with PERF.stage("schedule"):
+        starts, ends = _list_schedule(durations, slots)
     makespan = float(ends.max()) if ends.size else 0.0
     balanced = float(durations.sum()) / slots
     rows = kernel.num_row_accesses
@@ -209,6 +378,35 @@ def simulate_kernel(
     )
 
 
+def simulate_kernel(
+    kernel: KernelSpec, config: GPUConfig, dispatch_overhead: float = 0.0
+) -> KernelStats:
+    """Run one kernel through the cache, pricing and scheduling models.
+
+    ``dispatch_overhead`` is the per-operator host-side framework cost
+    (Observation 3's "framework scheduling"); baselines dispatch every
+    computation-graph op through the framework runtime, fused runtimes
+    pay it once per fused kernel.
+
+    Results are memoized content-addressed (see :mod:`repro.gpusim.memo`):
+    two kernels with identical pricing inputs, row streams and config
+    share one simulation, with the display name restored per caller.
+    """
+    if not memo_enabled():
+        return _simulate_kernel_cold(kernel, config, dispatch_overhead)
+    key = KERNEL_MEMO.fingerprint(kernel, config, dispatch_overhead)
+    cached = KERNEL_MEMO.get(key)
+    if cached is not None:
+        PERF.count("kernel_memo_hit")
+        return dataclasses.replace(
+            cached, name=kernel.name, occupancy=dict(cached.occupancy)
+        )
+    PERF.count("kernel_memo_miss")
+    stats = _simulate_kernel_cold(kernel, config, dispatch_overhead)
+    KERNEL_MEMO.put(key, stats)
+    return stats
+
+
 def simulate_kernels(
     kernels: Sequence[KernelSpec] | Iterable[KernelSpec],
     config: GPUConfig,
@@ -216,8 +414,29 @@ def simulate_kernels(
     peak_mem_bytes: int = 0,
     dispatch_overhead: float = 0.0,
 ) -> RunReport:
-    """Simulate a kernel sequence (one forward pass) into a RunReport."""
+    """Simulate a kernel sequence (one forward pass) into a RunReport.
+
+    ``report.extra["perf"]`` carries the instrumentation delta for this
+    run: cache-model/schedule seconds and memo hit counters.
+    """
+    snap = PERF.snapshot()
     report = RunReport(label=label, peak_mem_bytes=peak_mem_bytes)
     for k in kernels:
         report.add(simulate_kernel(k, config, dispatch_overhead))
+    delta = PERF.delta_since(snap)
+    counts = delta.get("counts", {})
+    hits = counts.get("kernel_memo_hit", 0)
+    misses = counts.get("kernel_memo_miss", 0)
+    report.extra["perf"] = {
+        "cache_model_seconds": delta["seconds"].get("cache_model", 0.0),
+        "schedule_seconds": delta["seconds"].get("schedule", 0.0),
+        "kernel_memo_hits": hits,
+        "kernel_memo_misses": misses,
+        "kernel_memo_hit_rate": hits / (hits + misses)
+        if hits + misses
+        else 0.0,
+        "stream_cache_hits": counts.get("stream_cache_hit", 0),
+        "stream_cache_misses": counts.get("stream_cache_miss", 0),
+        "memo": memo_stats(),
+    }
     return report

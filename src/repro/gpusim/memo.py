@@ -1,0 +1,296 @@
+"""Content-addressed memoization for kernel simulation.
+
+Ablation suites and the 20-round tuner simulate the *same* kernels over
+and over: every variant shares its baseline kernels, every feature
+length of a sweep shares its block streams, and dense kernels repeat
+across layers.  This module fingerprints the content that determines a
+simulation's outcome and caches two tiers of work:
+
+* **stream analyses** (:data:`STREAM_CACHE`) — the interleaved issue
+  permutation and previous-occurrence array of a kernel's feature-row
+  access stream, keyed by ``(row_ptr, row_ids, slot count)`` content.
+  These are the argsort-heavy inputs of the L2 cache model and depend
+  only on the stream, not on pricing, so a tuner round re-run at a new
+  feature length pays nothing.
+* **kernel statistics** (:data:`KERNEL_MEMO`) — the full
+  :class:`~repro.gpusim.metrics.KernelStats` of a simulated kernel,
+  keyed by every pricing input plus the :class:`GPUConfig`.  An
+  in-process LRU tier is always consulted; an optional on-disk tier
+  (``REPRO_KERNEL_CACHE_DIR`` or :meth:`KernelMemo.set_disk_dir`)
+  extends :mod:`repro.core.persistence` so suites can share cold starts
+  across processes.
+
+Array fingerprints use SHA-256 over the raw bytes (the fastest hash in
+this interpreter on bulk input, ~1.8x BLAKE2b).  Arrays are treated
+as immutable once simulated (the repo-wide convention); a weakref-guarded
+identity cache makes re-hashing long-lived arrays (e.g. a graph's CSR
+``indices``) free without ever trusting a recycled ``id()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import weakref
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..perf import PERF
+from .metrics import KernelStats
+
+__all__ = [
+    "array_digest",
+    "LRUCache",
+    "StreamPlan",
+    "KernelMemo",
+    "STREAM_CACHE",
+    "KERNEL_MEMO",
+    "clear_caches",
+    "memo_stats",
+]
+
+
+# ----------------------------------------------------------------------
+# Array fingerprints
+# ----------------------------------------------------------------------
+
+#: id(array) -> (weakref, digest).  The weakref proves the id has not
+#: been recycled by the allocator (the aliasing trap ``id()``-keyed
+#: caches fall into after garbage collection).
+_DIGESTS: Dict[int, Tuple[weakref.ref, bytes]] = {}
+_DIGEST_SWEEP_AT = 4096
+
+
+def array_digest(arr: Optional[np.ndarray]) -> bytes:
+    """16-byte SHA-256 content digest of an array (or ``None``)."""
+    if arr is None:
+        return b"\x00" * 16
+    key = id(arr)
+    entry = _DIGESTS.get(key)
+    if entry is not None and entry[0]() is arr:
+        return entry[1]
+    a = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(str(a.dtype).encode())
+    h.update(np.asarray(a.shape, dtype=np.int64).tobytes())
+    h.update(a.data)
+    digest = h.digest()[:16]
+    if len(_DIGESTS) >= _DIGEST_SWEEP_AT:
+        dead = [k for k, (ref, _) in _DIGESTS.items() if ref() is None]
+        for k in dead:
+            del _DIGESTS[k]
+    try:
+        _DIGESTS[key] = (weakref.ref(arr), digest)
+    except TypeError:  # non-weakref-able input (e.g. np.matrix subclass)
+        pass
+    return digest
+
+
+# ----------------------------------------------------------------------
+# Generic LRU with a byte budget
+# ----------------------------------------------------------------------
+
+#: Every LRUCache registers here so :func:`clear_caches` reaches tiers
+#: owned by other modules (e.g. the tuner's grouping cache).
+_ALL_CACHES: list = []
+
+
+class LRUCache:
+    """LRU keyed by hashable tuples, bounded by entries and bytes."""
+
+    def __init__(self, max_entries: int = 1024,
+                 max_bytes: Optional[int] = None,
+                 name: str = "cache") -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.name = name
+        self._data: "OrderedDict[object, Tuple[object, int]]" = OrderedDict()
+        self._bytes = 0
+        _ALL_CACHES.append(self)
+
+    def get(self, key):
+        entry = self._data.get(key)
+        if entry is None:
+            PERF.count(f"{self.name}_miss")
+            return None
+        self._data.move_to_end(key)
+        PERF.count(f"{self.name}_hit")
+        return entry[0]
+
+    def put(self, key, value, nbytes: int = 0) -> None:
+        if key in self._data:
+            self._bytes -= self._data.pop(key)[1]
+        self._data[key] = (value, nbytes)
+        self._bytes += nbytes
+        while len(self._data) > self.max_entries or (
+            self.max_bytes is not None
+            and self._bytes > self.max_bytes
+            and len(self._data) > 1
+        ):
+            _, (_, dropped) = self._data.popitem(last=False)
+            self._bytes -= dropped
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+
+# ----------------------------------------------------------------------
+# Stream-analysis tier
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class StreamPlan:
+    """Cached order-dependent analysis of one block access stream.
+
+    ``perm`` is the interleaved (concurrent-execution) issue order and
+    ``prev`` the previous-occurrence array of the permuted stream — the
+    two argsort-heavy quantities every cache-model evaluation needs.
+    ``windows`` memoizes the effective working-set window per cache
+    capacity and ``lru_distances`` the exact stack distances (both are
+    pure functions of ``prev``, so they attach here).
+    """
+
+    perm: np.ndarray
+    prev: np.ndarray
+    windows: Dict[int, int] = dataclasses.field(default_factory=dict)
+    lru_distances: Optional[np.ndarray] = None
+
+    @property
+    def nbytes(self) -> int:
+        total = self.perm.nbytes + self.prev.nbytes
+        if self.lru_distances is not None:
+            total += self.lru_distances.nbytes
+        return total
+
+
+def _env_bytes(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+#: Stream analyses are large (two int64 arrays per stream), so the tier
+#: is bounded by bytes; 512 MiB holds a full 20-round tuner sweep on the
+#: largest scaled dataset.
+STREAM_CACHE = LRUCache(
+    max_entries=256,
+    max_bytes=_env_bytes("REPRO_STREAM_CACHE_BYTES", 512 * 1024 * 1024),
+    name="stream_cache",
+)
+
+
+# ----------------------------------------------------------------------
+# Kernel-statistics tier
+# ----------------------------------------------------------------------
+
+class KernelMemo:
+    """Fingerprint -> :class:`KernelStats`, LRU in memory + optional disk.
+
+    The fingerprint covers everything :func:`simulate_kernel` reads:
+    block pricing arrays, the row stream, row bytes, launch accounting,
+    the tag (it is echoed into the stats), the full ``GPUConfig`` and the
+    dispatch overhead.  Kernel *names* are display-only and excluded;
+    they are restored on every hit.
+    """
+
+    def __init__(self, max_entries: int = 4096,
+                 disk_dir: Optional[str] = None) -> None:
+        # The executor counts logical kernel_memo hits/misses (disk hits
+        # included); the in-memory tier reports under its own name.
+        self._mem = LRUCache(max_entries=max_entries, name="kernel_memo_mem")
+        self.disk_dir = disk_dir or os.environ.get("REPRO_KERNEL_CACHE_DIR")
+
+    def set_disk_dir(self, path: Optional[str]) -> None:
+        """Enable (or disable, with ``None``) the on-disk tier."""
+        self.disk_dir = path
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(kernel, config, dispatch_overhead: float) -> str:
+        h = hashlib.blake2b(digest_size=16)
+        for arr in (
+            kernel.block_flops,
+            kernel.row_ptr,
+            kernel.row_ids,
+            kernel.stream_bytes,
+            kernel.atomics,
+        ):
+            h.update(array_digest(arr))
+        h.update(
+            repr((
+                kernel.row_bytes,
+                kernel.counts_launch,
+                kernel.tag,
+                dataclasses.astuple(config),
+                dispatch_overhead,
+            )).encode()
+        )
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[KernelStats]:
+        stats = self._mem.get(key)
+        if stats is not None:
+            return stats
+        if self.disk_dir:
+            from ..core.persistence import load_kernel_stats
+
+            stats = load_kernel_stats(self._disk_path(key))
+            if stats is not None:
+                PERF.count("kernel_memo_disk_hit")
+                self._mem.put(key, stats)
+                return stats
+        return None
+
+    def put(self, key: str, stats: KernelStats) -> None:
+        self._mem.put(key, stats)
+        if self.disk_dir:
+            from ..core.persistence import save_kernel_stats
+
+            save_kernel_stats(self._disk_path(key), stats)
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, f"kstats_{key}.json")
+
+    def clear(self) -> None:
+        self._mem.clear()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+
+KERNEL_MEMO = KernelMemo()
+
+
+# ----------------------------------------------------------------------
+def clear_caches() -> None:
+    """Drop all in-process memo tiers (not the on-disk tier)."""
+    for cache in _ALL_CACHES:
+        cache.clear()
+    _DIGESTS.clear()
+
+
+def memo_stats() -> Dict[str, object]:
+    """Counters for the perf harness / ``RunReport.extra``."""
+    return {
+        "kernel_memo_entries": len(KERNEL_MEMO),
+        "kernel_memo_hit_rate": PERF.memo_hit_rate("kernel_memo"),
+        "stream_cache_entries": len(STREAM_CACHE),
+        "stream_cache_bytes": STREAM_CACHE.nbytes,
+        "stream_cache_hit_rate": PERF.memo_hit_rate("stream_cache"),
+    }

@@ -16,6 +16,7 @@ All arrays are numpy, contiguous, and never copied unless necessary
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Optional, Tuple
 
 import numpy as np
@@ -102,6 +103,38 @@ class CSRGraph:
     def density(self) -> float:
         n = self.num_nodes
         return self.num_edges / (n * n) if n else 0.0
+
+    @property
+    def fingerprint(self) -> str:
+        """Structural hash: changes iff the CSR structure changes.
+
+        Computed lazily once per instance (the arrays are immutable by
+        convention); used as the cache key for offline artifacts and
+        in-process memo tables.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            h = hashlib.sha256()
+            h.update(self.indptr.tobytes())
+            h.update(self.indices.tobytes())
+            cached = h.hexdigest()[:16]
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    @property
+    def indices64(self) -> np.ndarray:
+        """``indices`` widened to int64, cached per instance.
+
+        Kernel builders need 64-bit row ids; sharing one widened copy
+        keeps repeated lowering cheap and lets content-digest caches key
+        on a stable array identity.
+        """
+        cached = self.__dict__.get("_indices64")
+        if cached is None:
+            cached = self.indices.astype(np.int64)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_indices64", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # Accessors

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+import json
+
 from repro.core import (
     graph_fingerprint,
     load_schedule,
@@ -13,6 +15,7 @@ from repro.core import (
     schedule_with_cache,
     tune,
 )
+from repro.core.persistence import load_kernel_stats, save_kernel_stats
 from repro.gpusim import V100_SCALED
 from repro.graph import power_law_graph, small_dataset
 
@@ -79,3 +82,78 @@ class TestTuningRoundTrip:
         path = str(tmp_path / "tune.json")
         save_tuning(path, g, 32, result)
         assert load_tuning(path, g, 64) is None
+
+    def test_tolerates_missing_keys(self, g, tmp_path):
+        result = tune(g, 32, V100_SCALED, max_rounds=2)
+        path = str(tmp_path / "tune.json")
+        save_tuning(path, g, 32, result)
+        payload = json.loads(open(path).read())
+        del payload["lanes"]  # artifact from an older schema
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        assert load_tuning(path, g, 32) is None
+
+    def test_tolerates_garbage_file(self, g, tmp_path):
+        path = str(tmp_path / "tune.json")
+        with open(path, "w") as fh:
+            fh.write('{"fingerprint": ')  # truncated write
+        with pytest.raises(Exception):
+            json.load(open(path))
+        # load_tuning itself must degrade to a miss, not raise.
+        try:
+            assert load_tuning(path, g, 32) is None
+        except ValueError:
+            # json decode errors are ValueError subclasses and caught.
+            raise AssertionError("load_tuning leaked a parse error")
+
+
+class TestKernelStatsRoundTrip:
+    def _stats(self, g):
+        from repro.core.lowering import ExecLayout, aggregation_kernel
+        from repro.gpusim.executor import simulate_kernel
+
+        k = aggregation_kernel(g, 32, V100_SCALED, ExecLayout.default(g))
+        return simulate_kernel(k, V100_SCALED)
+
+    def test_save_load(self, g, tmp_path):
+        stats = self._stats(g)
+        path = str(tmp_path / "kstats.json")
+        save_kernel_stats(path, stats)
+        loaded = load_kernel_stats(path)
+        assert loaded == stats  # dataclass equality covers every field
+        assert isinstance(next(iter(loaded.occupancy)), float)
+
+    def test_missing_and_invalid(self, g, tmp_path):
+        assert load_kernel_stats(str(tmp_path / "nope.json")) is None
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert load_kernel_stats(path) is None
+
+    def test_schema_drift_rejected(self, g, tmp_path):
+        stats = self._stats(g)
+        path = str(tmp_path / "kstats.json")
+        save_kernel_stats(path, stats)
+        payload = json.loads(open(path).read())
+        del payload["makespan"]
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        assert load_kernel_stats(path) is None
+
+    def test_disk_memo_tier(self, g, tmp_path, monkeypatch):
+        from repro import perf
+        from repro.gpusim.memo import KERNEL_MEMO, clear_caches
+
+        perf.configure(memo=True)
+        KERNEL_MEMO.set_disk_dir(str(tmp_path))
+        try:
+            clear_caches()
+            a = self._stats(g)
+            assert any(tmp_path.iterdir())  # stats persisted
+            clear_caches()  # cold in-memory tier: next run hits disk
+            b = self._stats(g)
+            assert a == b
+        finally:
+            KERNEL_MEMO.set_disk_dir(None)
+            clear_caches()
+            perf.configure(memo="env")
