@@ -9,7 +9,7 @@ locality conclusion in this reproduction rests on.
 
 import numpy as np
 
-from repro.bench import bench_config, format_table, write_result
+from repro.bench import format_table, write_result
 from repro.gpusim.cache import lru_hits, window_hits
 from repro.graph import load_dataset
 

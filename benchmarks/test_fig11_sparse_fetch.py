@@ -1,10 +1,6 @@
 """Fig. 11: sparse fetching + redundancy bypassing on GraphSAGE-LSTM."""
 
 from repro.bench import fig11_sage_strategies, format_table, write_result
-from repro.bench.paper_expected import (
-    FIG11_REDBYPASS_GAIN,
-    FIG11_SPFETCH_GAIN,
-)
 from repro.graph import DATASET_NAMES
 
 

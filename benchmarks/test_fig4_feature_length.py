@@ -12,7 +12,6 @@ from repro.bench import (
     sweep_config,
     write_result,
 )
-from repro.graph import DATASET_NAMES
 
 FEATS = list(range(16, 257, 16))
 SUBSET = ["arxiv", "collab", "citation", "ddi", "protein", "products"]

@@ -24,7 +24,6 @@ from repro.core import (
     locality_aware_schedule,
     lsh_candidate_pairs,
     minhash_signatures,
-    neighbor_grouping,
     tune,
 )
 from repro.gpusim import V100_SCALED, simulate_kernel

@@ -1,0 +1,65 @@
+"""Static analysis over the IR -> fusion -> lowering pipeline.
+
+Four passes verify, without running the simulator, every
+:class:`~repro.core.compgraph.FusionPlan` and lowered kernel list the
+pipeline produces:
+
+1. **fusion legality** (:mod:`.legality`) — re-derives each op's
+   required/provided data visible range from the op-kind effects table
+   and rejects fusions where a consumer reads data at a scope its
+   producer has not reached (including the grouped-SEG_REDUCE GLOBAL
+   promotion and illegal postponements);
+2. **linear-property verification** (:mod:`.linearity`) — checks every
+   ``linear=True`` flag algebraically and with a randomized
+   distributivity probe before the adapter may postpone the op;
+3. **atomic-race detection** (:mod:`.atomics`) — walks lowered
+   :class:`~repro.gpusim.kernel.KernelSpec` lists against the
+   :class:`~repro.core.grouping.GroupingPlan` for write-write conflicts
+   without atomics (and phantom atomics on block-private centers);
+4. **conservation audit** (:mod:`.conservation`) — re-resolves the
+   chain's element counts and pins each kernel's flops/bytes to the
+   documented cost conventions.
+
+Entry points: ``python -m repro lint`` (CI sweep), and the opt-in
+``OursOptions(verify_plans=True)`` /  ``REPRO_VERIFY_PLANS=1`` hook
+that verifies every plan the runtime lowers.
+"""
+
+from .atomics import check_atomic_races
+from .conservation import check_conservation, expected_group_cost
+from .driver import (
+    MODEL_CHAINS,
+    lint_chain,
+    lint_shipped,
+    verify_lowering,
+)
+from .findings import (
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Finding,
+    PlanVerificationError,
+)
+from .legality import chain_dataflow, check_fusion_legality
+from .linearity import check_linear_flags, probe_commutes_with_sum
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "PlanVerificationError",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "MODEL_CHAINS",
+    "chain_dataflow",
+    "check_atomic_races",
+    "check_conservation",
+    "check_fusion_legality",
+    "check_linear_flags",
+    "expected_group_cost",
+    "lint_chain",
+    "lint_shipped",
+    "probe_commutes_with_sum",
+    "verify_lowering",
+]

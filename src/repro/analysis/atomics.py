@@ -1,0 +1,116 @@
+"""Pass 3 — atomic-race detection on lowered kernels.
+
+Neighbor grouping (§4.1.2) may split one center node's edges across
+several blocks; every block then write-combines into the same output
+row, which is only correct when the kernel charges atomic updates for
+those blocks.  This pass walks the lowered :class:`KernelSpec` list
+against the :class:`GroupingPlan` and flags, structurally:
+
+* a **write-write race** — two or more blocks own the same center
+  (``block_center``) but the kernel charges no atomics on them;
+* a **phantom atomic** — atomics charged on a block whose center is
+  block-private (a cost-model bug: the simulator would price contention
+  that no real kernel pays);
+* a fused segment reduction lowered edge-parallel (no per-block center
+  ownership at all) **without** any atomic partial-sum charge — its
+  blocks write centers they do not own;
+* a lowered center-parallel kernel whose block->center map disagrees
+  with the grouping plan it was supposedly lowered from.
+
+Center ownership comes from ``KernelSpec.block_center``, metadata the
+lowering layer attaches to every center-parallel kernel (and permutes
+along with any locality reordering), so the detector needs no
+name-matching heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.compgraph import FusionPlan, OpKind
+from ..core.lowering import ExecLayout
+from ..gpusim.kernel import KernelSpec
+from .findings import ERROR, Finding
+
+__all__ = ["check_atomic_races"]
+
+PASS = "atomics"
+
+
+def _check_center_parallel(
+    kernel: KernelSpec, where: str, findings: List[Finding]
+) -> None:
+    centers = kernel.block_center
+    counts = np.bincount(centers, minlength=int(centers.max()) + 1
+                         if centers.size else 0)
+    shared = counts[centers] > 1
+    racy = shared & (kernel.atomics == 0)
+    if racy.any():
+        example = int(centers[np.argmax(racy)])
+        findings.append(Finding(
+            PASS, ERROR, where,
+            f"{int(racy.sum())} block(s) write centers owned by "
+            f"multiple blocks without an atomics charge (e.g. center "
+            f"{example}) — a cross-SM write-write race",
+        ))
+    phantom = (~shared) & (kernel.atomics > 0)
+    if phantom.any():
+        example = int(centers[np.argmax(phantom)])
+        findings.append(Finding(
+            PASS, ERROR, where,
+            f"{int(phantom.sum())} block(s) charge atomics on "
+            f"block-private centers (e.g. center {example}) — phantom "
+            f"contention in the cost model",
+        ))
+
+
+def check_atomic_races(
+    plan: FusionPlan,
+    kernels: List[KernelSpec],
+    layout: Optional[ExecLayout] = None,
+) -> List[Finding]:
+    """Cross-check a lowered kernel list against its plan and layout."""
+    findings: List[Finding] = []
+    if len(kernels) != len(plan.groups):
+        findings.append(Finding(
+            PASS, ERROR, "plan",
+            f"plan has {len(plan.groups)} fusion groups but lowering "
+            f"produced {len(kernels)} kernels — cannot pair them",
+        ))
+        return findings
+    for gi, (group, kernel) in enumerate(zip(plan.groups, kernels)):
+        where = f"group {gi}: {kernel.name}"
+        kinds = {op.kind for op in group.ops}
+        has_reduction = bool(
+            kinds & {OpKind.SEG_REDUCE, OpKind.AGGREGATE}
+        )
+        if kernel.block_center is not None:
+            _check_center_parallel(kernel, where, findings)
+            if (
+                layout is not None
+                and OpKind.AGGREGATE in kinds
+                and kernel.num_blocks == layout.grouping.num_groups
+            ):
+                want = np.sort(layout.grouping.group_center)
+                got = np.sort(kernel.block_center)
+                if not np.array_equal(want, got):
+                    findings.append(Finding(
+                        PASS, ERROR, where,
+                        "block->center ownership disagrees with the "
+                        "grouping plan the kernel was lowered from",
+                    ))
+        elif has_reduction:
+            # Edge-parallel lowering of a reduction: blocks are chunked
+            # over edges with no regard for segment boundaries, so
+            # partial sums *must* merge through atomics.
+            if int(kernel.atomics.sum()) == 0:
+                findings.append(Finding(
+                    PASS, ERROR, where,
+                    "fuses a segment reduction/aggregation into an "
+                    "edge-parallel kernel without any atomic "
+                    "partial-sum charge — blocks write centers they do "
+                    "not own",
+                ))
+    return findings

@@ -1,0 +1,216 @@
+"""Pass 4 — flops/bytes conservation audit.
+
+Lowering charges every fusion group's kernel according to the cost
+conventions of DESIGN.md §5 (feature rows at cache-line granularity,
+CSR structure and per-edge scalars as streaming traffic, postponed ops
+per *output* element).  This pass re-resolves those charges
+independently from the op chain, the plan, and the layout — walking the
+effects table and the N1/NF/E1/EF element counts, not
+:func:`~repro.core.lowering.lower_plan`'s code — and asserts that each
+lowered kernel's totals match the re-resolution exactly, and that the
+whole plan stays within fusion's documented savings envelope relative
+to the unfused resolution.  A lowering regression that double-charges a
+tensor, drops an op's work, or forgets the postponement discount lands
+here as a per-kernel mismatch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..core.compgraph import (
+    FusionGroup,
+    FusionPlan,
+    Op,
+    OpKind,
+    unfused_plan,
+    work_elems,
+)
+from ..core.lowering import ExecLayout, compute_waste, effective_row_bytes
+from ..gpusim.config import GPUConfig
+from ..gpusim.kernel import KernelSpec
+from ..graph.csr import CSRGraph
+from .findings import ERROR, Finding
+
+__all__ = ["expected_group_cost", "check_conservation"]
+
+PASS = "conservation"
+
+#: Relative tolerance on the per-kernel exact re-resolution (float
+#: accumulation noise only — the formulas are meant to agree exactly).
+_RTOL = 1e-5
+
+#: Documented savings envelope for the whole plan: fusion removes
+#: launches and traffic, not math, so total FLOPs stay within this band
+#: of the unfused element-count resolution (lane waste can inflate,
+#: postponement can shrink).
+_FLOP_BAND = (0.3, 3.0)
+
+
+def expected_group_cost(
+    group: FusionGroup,
+    graph: CSRGraph,
+    feat_len: int,
+    config: GPUConfig,
+    layout: ExecLayout,
+    *,
+    agg_compute_scale: float = 1.0,
+    agg_uncoalesced: float = 1.0,
+) -> Tuple[float, float]:
+    """Independent re-resolution of one fusion group's (flops, bytes).
+
+    Written against the cost conventions, not against the lowering
+    implementation: all quantities derive from element counts (N, E, F,
+    group count G) and the layout.
+    """
+    n = graph.num_nodes
+    e = graph.num_edges
+    f = feat_len
+    g = layout.grouping.num_groups
+    kinds = {op.kind for op in group.ops}
+    edge_flops = sum(
+        op.flops_per_elem for op in group.ops if op.out_shape == "E1"
+    )
+    if OpKind.AGGREGATE in kinds:
+        waste = compute_waste(f, layout.lanes) * agg_compute_scale
+        post_flops = sum(op.flops_per_elem for op in group.postponed)
+        node_map_flops = sum(
+            op.flops_per_elem for op in group.ops
+            if op.kind == OpKind.NODE_MAP
+        )
+        # One MAC per edge x feature for the aggregation itself; fused
+        # edge ops pay per edge; postponed + folded node maps pay per
+        # output row (the linear-property discount: G rows, not E edges).
+        flops = (
+            2.0 * e * f * waste
+            + e * edge_flops
+            + g * f * (post_flops + node_map_flops)
+        )
+        # Rows: one cacheable feature-row access per edge.  Stream: CSR
+        # structure (4 B/edge + 16 B/group), one output row per group,
+        # and per-edge scalars — the weight stream plus one per-center
+        # gather for each BCAST/EDGE_DIV executed per edge (postponed
+        # ones moved to per-row work, which is the other half of the
+        # discount).
+        row_bytes = int(
+            effective_row_bytes(f, config, layout.packed_rows)
+            * agg_uncoalesced
+        )
+        has_edge_weights = any(
+            op.out_shape == "E1" for op in group.ops
+        ) or bool(group.postponed)
+        per_edge_gathers = sum(
+            1 for op in group.ops
+            if op.kind in (OpKind.BCAST, OpKind.EDGE_DIV)
+        )
+        edge_stream = (4.0 if has_edge_weights else 0.0) + (
+            4.0 * per_edge_gathers
+        )
+        bytes_ = (
+            e * row_bytes
+            + (4.0 * e + 16.0 * g)
+            + e * edge_stream
+            + 4.0 * f * g
+        )
+        return flops, bytes_
+    if kinds == {OpKind.SEG_REDUCE}:
+        # Center-parallel scalar reduction: one add per edge; streams
+        # the per-edge scalars plus one write and the row pointers per
+        # center.
+        return float(e), 4.0 * e + 12.0 * n
+    if OpKind.DENSE in kinds:
+        flops = 2.0 * n * f * f
+        return flops, 4.0 * (n * f + f * f + n * f)
+    if kinds and kinds <= {OpKind.NODE_MAP}:
+        flops = sum(op.flops_per_elem for op in group.ops) * n * f
+        return flops, n * f * 8.0 + n * 4.0
+    # Edge-aligned chain (possibly with gathers and a fused reduction):
+    # per-edge reads scale with the gather count, one write per edge,
+    # and a fused segment reduction streams the destination ids.
+    gathers = sum(
+        2 if op.kind == OpKind.U_ADD_V else
+        1 if op.kind in (OpKind.BCAST, OpKind.EDGE_DIV) else 0
+        for op in group.ops
+    )
+    reads = 4.0 * max(1, gathers) + 4.0
+    flops = max(edge_flops, 1.0) * e
+    bytes_ = (reads + 4.0) * e
+    if OpKind.SEG_REDUCE in kinds:
+        bytes_ += 4.0 * e
+    return flops, bytes_
+
+
+def check_conservation(
+    ops: List[Op],
+    plan: FusionPlan,
+    kernels: List[KernelSpec],
+    graph: CSRGraph,
+    feat_len: int,
+    config: GPUConfig,
+    layout: ExecLayout,
+    *,
+    agg_compute_scale: float = 1.0,
+    agg_uncoalesced: float = 1.0,
+) -> List[Finding]:
+    """Audit a lowered plan's totals against the independent resolution."""
+    findings: List[Finding] = []
+    if len(kernels) != len(plan.groups):
+        findings.append(Finding(
+            PASS, ERROR, "plan",
+            f"{len(plan.groups)} fusion groups lowered to "
+            f"{len(kernels)} kernels — a group was dropped or split",
+        ))
+        return findings
+    kw = dict(agg_compute_scale=agg_compute_scale,
+              agg_uncoalesced=agg_uncoalesced)
+    total_lowered_flops = 0.0
+    for gi, (group, kernel) in enumerate(zip(plan.groups, kernels)):
+        want_flops, want_bytes = expected_group_cost(
+            group, graph, feat_len, config, layout, **kw
+        )
+        got_flops = kernel.total_flops
+        got_bytes = kernel.total_bytes
+        total_lowered_flops += got_flops
+        if not math.isclose(got_flops, want_flops, rel_tol=_RTOL):
+            findings.append(Finding(
+                PASS, ERROR, f"group {gi}: {kernel.name}",
+                f"lowered FLOPs {got_flops:.6g} != re-resolved "
+                f"{want_flops:.6g} from element counts — lowering "
+                f"drifted from the documented cost conventions",
+            ))
+        if not math.isclose(got_bytes, want_bytes, rel_tol=_RTOL):
+            findings.append(Finding(
+                PASS, ERROR, f"group {gi}: {kernel.name}",
+                f"lowered bytes {got_bytes:.6g} != re-resolved "
+                f"{want_bytes:.6g} from element counts — lowering "
+                f"drifted from the documented cost conventions",
+            ))
+    # Whole-plan envelope vs. the unfused element-count resolution.
+    n, e, f = graph.num_nodes, graph.num_edges, feat_len
+    unfused_work = sum(
+        op.flops_per_elem * work_elems(op, n, e, f) for op in ops
+    )
+    if unfused_work > 0:
+        ratio = total_lowered_flops / unfused_work
+        lo, hi = _FLOP_BAND
+        if not (lo <= ratio <= hi):
+            findings.append(Finding(
+                PASS, ERROR, "plan",
+                f"total lowered FLOPs are {ratio:.2f}x the unfused "
+                f"element-count resolution (allowed {lo}-{hi}x) — "
+                f"fusion must remove traffic and launches, not math",
+            ))
+    unfused_bytes = sum(
+        expected_group_cost(gr, graph, feat_len, config, layout, **kw)[1]
+        for gr in unfused_plan(ops).groups
+    )
+    fused_bytes = sum(k.total_bytes for k in kernels)
+    if fused_bytes > unfused_bytes * 1.01:
+        findings.append(Finding(
+            PASS, ERROR, "plan",
+            f"fused plan moves {fused_bytes:.6g} bytes, more than the "
+            f"unfused resolution's {unfused_bytes:.6g} — fusion may "
+            f"only remove traffic",
+        ))
+    return findings

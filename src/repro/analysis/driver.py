@@ -1,0 +1,149 @@
+"""Verification driver: run all four passes over a lowered pipeline,
+and sweep every shipped model x dataset x config combination (the
+``python -m repro lint`` entry point).
+
+The sweep never runs the simulator — all passes are static, so linting
+the full grid costs seconds while covering every plan the benchmarks
+can produce: both op chains (GAT attention, GCN layer), every fusion
+config (unfused / adapter / adapter+linear), both task layouts
+(identity and neighbor-grouped, which exercises the SEG_REDUCE GLOBAL
+promotion and the atomics paths), and feature lengths on both sides of
+the warp-lane boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.adapter import plan_fusion
+from ..core.compgraph import FusionPlan, Op, gat_attention_ops, gcn_layer_ops
+from ..core.grouping import identity_grouping, neighbor_grouping
+from ..core.lowering import ExecLayout, lower_plan
+from ..gpusim.config import GPUConfig, V100_SCALED
+from ..gpusim.kernel import KernelSpec
+from ..graph.csr import CSRGraph
+from ..graph.datasets import DATASET_NAMES, load_dataset
+from .atomics import check_atomic_races
+from .conservation import check_conservation
+from .findings import AnalysisReport
+from .legality import check_fusion_legality
+from .linearity import check_linear_flags
+
+__all__ = ["verify_lowering", "lint_chain", "lint_shipped", "MODEL_CHAINS"]
+
+MODEL_CHAINS = {
+    "gat": gat_attention_ops,
+    "gcn": gcn_layer_ops,
+}
+
+#: (label, allow_adapter, allow_linear) fusion configs the repo ships.
+FUSION_CONFIGS = (
+    ("unfused", False, False),
+    ("adapter", True, False),
+    ("linear", True, True),
+)
+
+#: Feature lengths: one warp-aligned, one that exercises lane waste and
+#: cache-line padding.
+DEFAULT_FEATS = (32, 48)
+
+#: Grouping bound for the grouped layout sweep (the untuned default).
+LINT_NG_BOUND = 32
+
+
+def verify_lowering(
+    ops: List[Op],
+    plan: FusionPlan,
+    kernels: List[KernelSpec],
+    graph: CSRGraph,
+    feat_len: int,
+    config: GPUConfig,
+    layout: ExecLayout,
+    *,
+    grouped: bool,
+    label: str = "",
+    check_linearity: bool = True,
+    agg_compute_scale: float = 1.0,
+    agg_uncoalesced: float = 1.0,
+) -> AnalysisReport:
+    """Run all four static passes over one lowered pipeline."""
+    report = AnalysisReport(label=label, checked=1)
+    report.extend(check_fusion_legality(ops, plan, grouped=grouped))
+    if check_linearity:
+        report.extend(check_linear_flags(ops))
+    report.extend(check_atomic_races(plan, kernels, layout))
+    report.extend(check_conservation(
+        ops, plan, kernels, graph, feat_len, config, layout,
+        agg_compute_scale=agg_compute_scale,
+        agg_uncoalesced=agg_uncoalesced,
+    ))
+    return report
+
+
+def lint_chain(
+    model: str,
+    graph: CSRGraph,
+    *,
+    config: Optional[GPUConfig] = None,
+    feats: Sequence[int] = DEFAULT_FEATS,
+    check_linearity: bool = False,
+) -> AnalysisReport:
+    """Lint every fusion config x layout x feat of one model on a graph."""
+    config = config or V100_SCALED
+    ops = MODEL_CHAINS[model]()
+    report = AnalysisReport(label=f"{model}:{graph.name or 'graph'}")
+    report.checked = 0
+    layouts = [
+        ("identity", identity_grouping(graph)),
+        ("grouped", neighbor_grouping(graph, LINT_NG_BOUND)),
+    ]
+    for lname, grouping in layouts:
+        grouped = bool(grouping.needs_atomic.any())
+        layout = ExecLayout(grouping=grouping)
+        for cname, adapter, linear in FUSION_CONFIGS:
+            plan = plan_fusion(
+                ops, allow_adapter=adapter, allow_linear=linear,
+                grouped=grouped, label=cname,
+            )
+            for feat in feats:
+                kernels = lower_plan(plan, graph, feat, config, layout)
+                sub = verify_lowering(
+                    ops, plan, kernels, graph, feat, config, layout,
+                    grouped=grouped,
+                    label=f"{report.label}:{cname}:{lname}:F{feat}",
+                    check_linearity=False,
+                )
+                for f in sub.findings:
+                    report.findings.append(f.__class__(
+                        f.pass_name, f.severity,
+                        f"{sub.label}: {f.where}", f.message,
+                    ))
+                report.checked += sub.checked
+    if check_linearity:
+        report.extend(check_linear_flags(ops))
+    return report
+
+
+def lint_shipped(
+    dataset_names: Optional[Iterable[str]] = None,
+    models: Optional[Iterable[str]] = None,
+    *,
+    config: Optional[GPUConfig] = None,
+    feats: Sequence[int] = DEFAULT_FEATS,
+) -> AnalysisReport:
+    """Lint all shipped model/dataset/config combinations."""
+    names = list(dataset_names or DATASET_NAMES)
+    model_list = list(models or MODEL_CHAINS)
+    report = AnalysisReport(label="lint")
+    # Chains are dataset-independent: verify the linear flags once per
+    # model instead of once per pipeline.
+    for model in model_list:
+        report.extend(check_linear_flags(MODEL_CHAINS[model]()))
+    for name in names:
+        graph = load_dataset(name)
+        for model in model_list:
+            report.merge(lint_chain(
+                model, graph, config=config, feats=feats,
+                check_linearity=False,
+            ))
+    return report

@@ -1,0 +1,117 @@
+"""Finding / report types shared by all static-analysis passes.
+
+A *finding* is one violation (or observation) a pass produced about a
+fusion plan or a lowered kernel list.  Severities:
+
+* ``error`` — the plan/lowering is wrong: executing it would corrupt
+  results (illegal fusion, missing atomics) or mis-account cost
+  (conservation drift, phantom atomics).  ``repro lint`` exits non-zero.
+* ``warning`` — the pass could not prove the property (e.g. an op whose
+  name has no numeric semantics registered) or found a suspicious but
+  not provably wrong structure.
+* ``info`` — advisory (e.g. an op that *is* linear but is not flagged,
+  leaving a postponement opportunity on the table).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Finding",
+    "AnalysisReport",
+    "PlanVerificationError",
+    "ERROR",
+    "WARNING",
+    "INFO",
+]
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One result of one analysis pass."""
+
+    pass_name: str   # "legality" | "linearity" | "atomics" | "conservation"
+    severity: str    # ERROR / WARNING / INFO
+    where: str       # plan/kernel/op context, e.g. "group 1: bcast"
+    message: str
+
+    def format(self) -> str:
+        return (f"[{self.severity.upper():7s}] {self.pass_name}: "
+                f"{self.where}: {self.message}")
+
+    def to_dict(self) -> Dict[str, str]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class AnalysisReport:
+    """Aggregated findings plus context about what was checked."""
+
+    findings: List[Finding] = dataclasses.field(default_factory=list)
+    #: Number of (model, dataset, config) pipelines inspected.
+    checked: int = 0
+    label: str = ""
+
+    def extend(self, findings: List[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def merge(self, other: "AnalysisReport") -> None:
+        self.findings.extend(other.findings)
+        self.checked += other.checked
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_on_errors(self) -> None:
+        if not self.ok:
+            raise PlanVerificationError(self)
+
+    def format(self, *, verbose: bool = False) -> str:
+        lines = []
+        for f in self.findings:
+            if verbose or f.severity != INFO:
+                lines.append(f.format())
+        lines.append(
+            f"{self.label + ': ' if self.label else ''}"
+            f"{self.checked} pipeline(s) checked, "
+            f"{len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(
+            {
+                "label": self.label,
+                "checked": self.checked,
+                "ok": self.ok,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=indent,
+        )
+
+
+class PlanVerificationError(RuntimeError):
+    """Raised by the opt-in ``verify_plans`` hook when a pass errors."""
+
+    def __init__(self, report: AnalysisReport) -> None:
+        self.report = report
+        super().__init__(
+            "plan verification failed:\n" + report.format()
+        )

@@ -1,0 +1,268 @@
+"""Pass 1 — fusion legality.
+
+Re-derives, from the op-kind effects table alone (never from
+``plan_fusion``'s rules), whether a :class:`FusionPlan` is a legal
+execution of its op chain:
+
+* **conservation** — fusion must not drop, duplicate, or reorder ops;
+* **visibility** — a consumer may read a producer's value inside the
+  same kernel only if the producer's data visible range covers it.
+  Per-element producers complete at THREAD scope, so aligned consumers
+  chain freely.  A fused segment reduction is complete only at BLOCK
+  scope — and the lowered edge-parallel chunking does not align blocks
+  with segment boundaries, so an in-kernel consumer would read partial
+  sums; under neighbor grouping the reduction's scope is promoted to
+  GLOBAL (a center's edges span blocks), making the same read wrong for
+  a second reason.  Either way a consumer of reduced data needs the
+  global synchronization of a kernel boundary.  AGGREGATE / DENSE
+  outputs complete at kernel end; the only legal same-kernel consumer
+  is a *linear* elementwise epilogue (scaling distributes over the
+  partial sums).
+* **postponement** — a postponed op must be linear in its edge operand
+  (or a BCAST materialization whose consumer is postponed with it), its
+  host group must contain the AGGREGATE it was moved into, and no
+  non-postponed op may read its output at its original position.
+
+The def-use derivation below resolves each op's operands by walking the
+chain (``OP_EFFECTS[...].reads``), which is what makes the pass
+independent: it re-discovers who reads whom instead of trusting the
+planner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.compgraph import OP_EFFECTS, FusionPlan, Op, OpKind
+from .findings import ERROR, Finding
+
+__all__ = ["chain_dataflow", "check_fusion_legality"]
+
+PASS = "legality"
+
+
+def chain_dataflow(ops: List[Op]) -> List[List[int]]:
+    """For each chain position, the positions whose output it reads.
+
+    Operands produced before the chain (node features, the u/v scalars
+    of U_ADD_V) resolve to nothing — they are globally visible inputs.
+    """
+    deps: List[List[int]] = []
+    last_e1: Optional[int] = None        # most recent edge-aligned value
+    last_e1_nonbcast: Optional[int] = None  # ... excluding BCAST copies
+    last_bcast: Optional[int] = None
+    last_reduce: Optional[int] = None
+    last_nf: Optional[int] = None
+    for i, op in enumerate(ops):
+        d: List[int] = []
+        kind = op.kind
+        if kind in (OpKind.EDGE_MAP,):
+            if last_e1 is not None:
+                d.append(last_e1)
+        elif kind == OpKind.SEG_REDUCE:
+            if last_e1 is not None:
+                d.append(last_e1)
+        elif kind == OpKind.BCAST:
+            if last_reduce is not None:
+                d.append(last_reduce)
+        elif kind == OpKind.EDGE_DIV:
+            # Numerator: the running edge value (a BCAST is the
+            # denominator's materialization, not the numerator).
+            if last_e1_nonbcast is not None:
+                d.append(last_e1_nonbcast)
+            # Denominator: the broadcast segment sum — through the
+            # BCAST if one materialized it, else straight from the
+            # reduction (DGL's e_div_v form).
+            denom = last_bcast if (
+                last_bcast is not None
+                and (last_reduce is None or last_bcast > last_reduce)
+            ) else last_reduce
+            if denom is not None:
+                d.append(denom)
+        elif kind == OpKind.AGGREGATE:
+            if last_e1 is not None:
+                d.append(last_e1)  # per-edge weights
+            if last_nf is not None:
+                d.append(last_nf)  # feature rows
+        elif kind in (OpKind.NODE_MAP, OpKind.DENSE):
+            if last_nf is not None:
+                d.append(last_nf)
+        deps.append(d)
+        # Update producer trackers from the effects table.
+        out = op.out_shape
+        if out in ("E1", "EF") and kind != OpKind.SEG_REDUCE:
+            last_e1 = i
+            if kind == OpKind.BCAST:
+                last_bcast = i
+            else:
+                last_e1_nonbcast = i
+        if out == "NF":
+            last_nf = i
+        if kind == OpKind.SEG_REDUCE:
+            last_reduce = i
+    return deps
+
+
+def _op_key(op: Op) -> Tuple:
+    return (op.name, op.kind, op.out_shape, op.linear)
+
+
+def _match_plan_positions(
+    ops: List[Op], plan: FusionPlan, findings: List[Finding]
+) -> Optional[Dict[int, Tuple[int, int, bool]]]:
+    """Map chain position -> (group, rank-in-group, postponed).
+
+    Emits conservation findings (dropped / duplicated ops) and order
+    findings (non-postponed ops permuted across the plan); returns None
+    when the plan is too broken to analyze further.
+    """
+    unmatched = list(range(len(ops)))
+    pos: Dict[int, Tuple[int, int, bool]] = {}
+    for gi, group in enumerate(plan.groups):
+        entries = [(op, False) for op in group.ops] + [
+            (op, True) for op in group.postponed
+        ]
+        for rank, (op, postponed) in enumerate(entries):
+            hit = next(
+                (i for i in unmatched if _op_key(ops[i]) == _op_key(op)),
+                None,
+            )
+            if hit is None:
+                findings.append(Finding(
+                    PASS, ERROR, f"group {gi}: {op.name}",
+                    "op does not appear in the chain (duplicated or "
+                    "foreign op) — fusion must conserve the op multiset",
+                ))
+                return None
+            unmatched.remove(hit)
+            pos[hit] = (gi, rank, postponed)
+    for i in unmatched:
+        findings.append(Finding(
+            PASS, ERROR, f"chain op {i}: {ops[i].name}",
+            "op dropped by the fusion plan — fusion must conserve the "
+            "op multiset",
+        ))
+    if unmatched:
+        return None
+    # Non-postponed ops must keep their chain order across groups.
+    seq = sorted(
+        (i for i in pos if not pos[i][2]),
+        key=lambda i: (pos[i][0], pos[i][1]),
+    )
+    if seq != sorted(seq):
+        findings.append(Finding(
+            PASS, ERROR, "plan",
+            "non-postponed ops were reordered relative to the chain",
+        ))
+    return pos
+
+
+def check_fusion_legality(
+    ops: List[Op], plan: FusionPlan, *, grouped: bool
+) -> List[Finding]:
+    """Verify that ``plan`` is a legal fusion of ``ops``."""
+    findings: List[Finding] = []
+    ops = list(ops)
+    pos = _match_plan_positions(ops, plan, findings)
+    if pos is None:
+        return findings
+    deps = chain_dataflow(ops)
+
+    def executes_before(a: int, b: int) -> bool:
+        """Does chain op ``a`` produce its value before ``b`` reads it?
+
+        Groups execute in order; within a group normal ops run in rank
+        order and postponed ops run at kernel end (after every normal
+        op), in their listed order.
+        """
+        ga, ra, pa = pos[a]
+        gb, rb, pb = pos[b]
+        if ga != gb:
+            return ga < gb
+        if pa != pb:
+            return pb  # postponed consumers run after normal producers
+        return ra < rb
+
+    for i, op in enumerate(ops):
+        gi, _, postponed = pos[i]
+        group = plan.groups[gi]
+        if postponed:
+            eff = OP_EFFECTS[op.kind]
+            if not (op.linear or op.kind == OpKind.BCAST):
+                findings.append(Finding(
+                    PASS, ERROR, f"group {gi}: {op.name}",
+                    "postponed past an aggregation but not linear in its "
+                    "edge operand — the rewrite does not commute with "
+                    "the sum",
+                ))
+            agg_positions = [
+                j for j, o in enumerate(ops)
+                if o.kind == OpKind.AGGREGATE and pos.get(j, (None,))[0] == gi
+                and not pos[j][2]
+            ]
+            if not any(j > i for j in agg_positions):
+                findings.append(Finding(
+                    PASS, ERROR, f"group {gi}: {op.name}",
+                    "postponed into a group that holds no later "
+                    "AGGREGATE to postpone past",
+                ))
+            if op.kind == OpKind.BCAST and not eff.can_be_linear:
+                consumers = [
+                    j for j in range(len(ops))
+                    if i in deps[j] and pos[j][2] and pos[j][0] == gi
+                ]
+                if not consumers:
+                    findings.append(Finding(
+                        PASS, ERROR, f"group {gi}: {op.name}",
+                        "BCAST postponed without a postponed consumer — "
+                        "a bare broadcast is constant in its edge "
+                        "operand and cannot be postponed on its own",
+                    ))
+        for d in deps[i]:
+            gd, _, pd = pos[d]
+            producer = ops[d]
+            if not executes_before(d, i):
+                if pd and gd == gi and op.kind == OpKind.AGGREGATE:
+                    # The postponement rewrite itself: the aggregate
+                    # deliberately reads the *pre*-postponement value
+                    # and the moved op is applied to its output.  The
+                    # substitution's legality (linearity / BCAST
+                    # companionship) is checked on the postponed op.
+                    continue
+                findings.append(Finding(
+                    PASS, ERROR,
+                    f"group {gi}: {op.name} <- {producer.name}",
+                    "reads a value that has not been produced yet "
+                    + ("(its producer was postponed past it)" if pd
+                       else "(producer scheduled later)"),
+                ))
+                continue
+            if gd != gi or pd:
+                continue  # earlier kernel (global sync) or epilogue order
+            # Same kernel, normal producer: check visible range.
+            if producer.kind == OpKind.SEG_REDUCE:
+                scope = "GLOBAL (neighbor grouping splits centers " \
+                    "across blocks)" if grouped else \
+                    "BLOCK, and edge-parallel chunking does not align " \
+                    "blocks with segment boundaries"
+                findings.append(Finding(
+                    PASS, ERROR,
+                    f"group {gi}: {op.name} <- {producer.name}",
+                    f"reads a segment reduction fused into the same "
+                    f"kernel; the reduction completes only at {scope} "
+                    f"scope, so the consumer would read partial sums — "
+                    f"a kernel boundary (global sync) is required",
+                ))
+            elif producer.kind in (OpKind.AGGREGATE, OpKind.DENSE):
+                if not (op.linear and OP_EFFECTS[op.kind].elementwise):
+                    findings.append(Finding(
+                        PASS, ERROR,
+                        f"group {gi}: {op.name} <- {producer.name}",
+                        "reads an aggregation/GEMM output inside its own "
+                        "kernel; only a linear elementwise epilogue "
+                        "(which distributes over the partial sums) may "
+                        "fuse here",
+                    ))
+            # Elementwise producers complete at THREAD scope: aligned
+            # same-kernel consumers are always legal.
+    return findings

@@ -1,0 +1,132 @@
+"""Pass 2 — linear-property verification.
+
+The adapter postpones an op past a sum aggregation only when the op is
+*linear* in its edge-aligned operand: ``f(sum x) == sum f(x)`` per
+center (with any secondary operand held center-constant).  A wrong
+``linear=True`` flag silently corrupts every result downstream of the
+postponement, so this pass verifies each flag twice:
+
+* **algebraically** — the op kind must be eligible at all
+  (``OP_EFFECTS[kind].can_be_linear``): a BCAST is constant in its edge
+  operand, a SEG_REDUCE/U_ADD_V has no edge operand to be linear in;
+* **numerically** — the op's registered numeric semantics
+  (:data:`~repro.core.compgraph.OP_NUMERIC`) are probed on randomized
+  small segmented inputs for additivity, homogeneity, and commutation
+  with segment-sum aggregation.  An op flagged linear whose name has no
+  registered semantics cannot be verified and yields a warning.
+
+The converse is also reported (as ``info``): an op whose semantics *do*
+commute with aggregation but which is not flagged leaves a postponement
+opportunity unused.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.compgraph import OP_EFFECTS, OP_NUMERIC, Op
+from .findings import ERROR, INFO, WARNING, Finding
+
+__all__ = ["probe_commutes_with_sum", "check_linear_flags"]
+
+PASS = "linearity"
+
+#: Probe sizes: enough segments/edges for a nonlinearity to show, small
+#: enough that the probe costs microseconds.
+_N_CENTERS = 13
+_N_EDGES = 157
+_RTOL = 1e-5
+
+
+def probe_commutes_with_sum(
+    fn, *, seed: int = 0, trials: int = 3
+) -> Optional[bool]:
+    """Randomized check that ``fn(x, aux)`` commutes with segment sums.
+
+    ``fn`` maps an edge-aligned operand ``x`` (and a per-center-constant
+    secondary operand ``aux``, broadcast per edge) to an edge-aligned
+    output.  Returns True when, across all trials,
+
+    * additivity: ``fn(a + b) == fn(a) + fn(b)``,
+    * homogeneity: ``fn(c * a) == c * fn(a)``,
+    * aggregation: ``segsum(fn(x, aux_e)) == fn(segsum(x), aux_c)``.
+    """
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        dst = rng.integers(0, _N_CENTERS, size=_N_EDGES)
+        # Positive, well-conditioned aux (a segment-sum denominator or a
+        # norm scale is positive in every shipped chain).
+        aux_c = rng.uniform(0.5, 2.0, size=_N_CENTERS)
+        aux_e = aux_c[dst]
+        a = rng.standard_normal(_N_EDGES)
+        b = rng.standard_normal(_N_EDGES)
+        scale = float(rng.uniform(-3.0, 3.0))
+        try:
+            additive = np.allclose(
+                fn(a + b, aux_e), fn(a, aux_e) + fn(b, aux_e), rtol=_RTOL
+            )
+            homogeneous = np.allclose(
+                fn(scale * a, aux_e), scale * fn(a, aux_e), rtol=_RTOL
+            )
+            seg = np.bincount(
+                dst, weights=fn(a, aux_e), minlength=_N_CENTERS
+            )
+            post = fn(np.bincount(dst, weights=a, minlength=_N_CENTERS),
+                      aux_c)
+            commutes = np.allclose(seg, np.asarray(post), rtol=_RTOL,
+                                   atol=1e-9)
+        except Exception:
+            return None
+        if not (additive and homogeneous and commutes):
+            return False
+    return True
+
+
+def check_linear_flags(ops: List[Op], *, seed: int = 0) -> List[Finding]:
+    """Verify every ``linear`` flag in an op chain (both directions)."""
+    findings: List[Finding] = []
+    for op in ops:
+        eff = OP_EFFECTS[op.kind]
+        fn = OP_NUMERIC.get(op.name)
+        if op.linear:
+            if not eff.can_be_linear:
+                findings.append(Finding(
+                    PASS, ERROR, op.name,
+                    f"flagged linear but a {op.kind.value} op cannot be "
+                    "linear in an edge operand (it is constant in it or "
+                    "has none) — postponing it would corrupt results",
+                ))
+                continue
+            if fn is None:
+                findings.append(Finding(
+                    PASS, WARNING, op.name,
+                    "flagged linear but has no registered numeric "
+                    "semantics (OP_NUMERIC) — the distributivity probe "
+                    "cannot verify the flag",
+                ))
+                continue
+            verdict = probe_commutes_with_sum(fn, seed=seed)
+            if verdict is False:
+                findings.append(Finding(
+                    PASS, ERROR, op.name,
+                    "flagged linear but its semantics do not commute "
+                    "with sum aggregation (randomized distributivity "
+                    "probe failed) — postponing it would corrupt "
+                    "results",
+                ))
+            elif verdict is None:
+                findings.append(Finding(
+                    PASS, WARNING, op.name,
+                    "numeric semantics raised during the distributivity "
+                    "probe; linearity unverified",
+                ))
+        elif fn is not None and eff.can_be_linear and eff.elementwise:
+            if probe_commutes_with_sum(fn, seed=seed):
+                findings.append(Finding(
+                    PASS, INFO, op.name,
+                    "commutes with sum aggregation but is not flagged "
+                    "linear — a postponement opportunity is unused",
+                ))
+    return findings

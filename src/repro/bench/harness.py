@@ -9,7 +9,7 @@ many runs" argument (§4.4).
 from __future__ import annotations
 
 import os
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..core.scheduling import ScheduleResult, locality_aware_schedule
 from ..frameworks.ours import OursOptions, OursRuntime
@@ -21,6 +21,7 @@ __all__ = [
     "sweep_config",
     "cached_schedule",
     "cached_runtime",
+    "verify_plans_default",
     "format_table",
     "write_result",
     "RESULTS_DIR",
@@ -63,13 +64,27 @@ def cached_schedule(graph: CSRGraph) -> ScheduleResult:
     return _SCHEDULES[key]
 
 
-def cached_runtime(options: OursOptions = OursOptions()) -> OursRuntime:
+def verify_plans_default() -> bool:
+    """Whether benchmark runtimes statically verify every lowered plan.
+
+    Opt-in via ``REPRO_VERIFY_PLANS=1`` — CI turns it on so every
+    benchmark pipeline passes through the four analysis passes; local
+    perf runs skip the overhead by default.
+    """
+    return os.environ.get("REPRO_VERIFY_PLANS", "") not in ("", "0")
+
+
+def cached_runtime(options: Optional[OursOptions] = None) -> OursRuntime:
     """Shared OursRuntime per option set.
 
     All runtimes resolve their offline analysis through
     :func:`cached_schedule`, so a graph is MinHash-clustered once per
-    process no matter how many ablation variants run on it.
+    process no matter how many ablation variants run on it.  When no
+    explicit options are given, plan verification follows
+    :func:`verify_plans_default`.
     """
+    if options is None:
+        options = OursOptions(verify_plans=verify_plans_default())
     if options not in _RUNTIMES:
         _RUNTIMES[options] = OursRuntime(
             options, schedule_fn=cached_schedule

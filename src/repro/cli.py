@@ -140,6 +140,23 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis import MODEL_CHAINS, lint_shipped
+
+    models = args.models or list(MODEL_CHAINS)
+    for m in models:
+        if m not in MODEL_CHAINS:
+            raise SystemExit(
+                f"unknown model {m!r}; choose from {list(MODEL_CHAINS)}"
+            )
+    report = lint_shipped(_dataset_list(args), models)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format(verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 def cmd_schedule(args) -> int:
     g = load_dataset(args.dataset)
     sched = cached_schedule(g)
@@ -192,6 +209,19 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("schedule", help="run locality-aware scheduling")
     sp.add_argument("--dataset", choices=DATASET_NAMES, required=True)
     sp.set_defaults(func=cmd_schedule)
+
+    sp = sub.add_parser(
+        "lint",
+        help="statically verify every shipped fusion plan and lowering",
+    )
+    add_datasets_arg(sp)
+    sp.add_argument("--models", nargs="*", default=None,
+                    help="subset of model chains (default: all)")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable report")
+    sp.add_argument("--verbose", action="store_true",
+                    help="include info-level findings")
+    sp.set_defaults(func=cmd_lint)
     return p
 
 

@@ -29,7 +29,14 @@ from __future__ import annotations
 
 from typing import List
 
-from .compgraph import FusionGroup, FusionPlan, Op, OpKind, unfused_plan
+from .compgraph import (
+    OP_EFFECTS,
+    FusionGroup,
+    FusionPlan,
+    Op,
+    OpKind,
+    unfused_plan,
+)
 
 __all__ = ["plan_fusion"]
 
@@ -42,8 +49,14 @@ _EDGE_CHAIN = {
 
 
 def _consumes_reduced(op: Op) -> bool:
-    """Does this op read the output of a preceding SEG_REDUCE?"""
-    return op.kind in (OpKind.BCAST,)
+    """Does this op read the output of a preceding SEG_REDUCE?
+
+    Answered from the op-kind effects table: BCAST gathers the reduced
+    per-center scalar, and EDGE_DIV's denominator is the (broadcast)
+    segment sum — DGL's ``e_div_v`` form reads it directly, with no
+    materializing BCAST in between, so it must be covered too.
+    """
+    return OP_EFFECTS[op.kind].consumes_reduced
 
 
 def _fusable_after(
@@ -95,19 +108,32 @@ def plan_fusion(
     ops = list(ops)
     postponed_marks = [False] * len(ops)
     if allow_linear:
-        # Find BCAST / EDGE_DIV runs lying strictly between a SEG_REDUCE
-        # and a later AGGREGATE; mark them postponed into the aggregate.
+        # For each AGGREGATE, walk backwards over the maximal run of
+        # postponable ops (BCAST, or a linear op consuming reduced data)
+        # *immediately* before it; postpone the run iff a SEG_REDUCE
+        # precedes it.  The run must be contiguous with the aggregate:
+        # an op further upstream has a non-postponed consumer between
+        # itself and the aggregate (a later EDGE_MAP, a second
+        # normalization's SEG_REDUCE input, ...), and moving it past
+        # that consumer would feed the consumer a stale value.
         for i, op in enumerate(ops):
-            if op.kind not in (OpKind.BCAST, OpKind.EDGE_DIV):
+            if op.kind != OpKind.AGGREGATE:
                 continue
-            if op.kind == OpKind.EDGE_DIV and not op.linear:
-                continue
-            has_reduce_before = any(
-                o.kind == OpKind.SEG_REDUCE for o in ops[:i]
-            )
-            agg_after = any(o.kind == OpKind.AGGREGATE for o in ops[i + 1 :])
-            if has_reduce_before and agg_after:
-                postponed_marks[i] = True
+            run = []
+            j = i - 1
+            while j >= 0 and ops[j].kind in (
+                OpKind.BCAST, OpKind.EDGE_DIV
+            ) and (
+                ops[j].kind == OpKind.BCAST
+                or (_consumes_reduced(ops[j]) and ops[j].linear)
+            ):
+                run.append(j)
+                j -= 1
+            if run and any(
+                o.kind == OpKind.SEG_REDUCE for o in ops[: run[-1]]
+            ):
+                for k in run:
+                    postponed_marks[k] = True
 
     groups: List[FusionGroup] = []
     current = FusionGroup()

@@ -21,9 +21,21 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import List, Tuple
+from typing import Callable, Dict, List, Tuple
 
-__all__ = ["OpKind", "Op", "VisibleRange", "gat_attention_ops", "gcn_layer_ops"]
+import numpy as np
+
+__all__ = [
+    "OpKind",
+    "Op",
+    "OpEffect",
+    "OP_EFFECTS",
+    "OP_NUMERIC",
+    "VisibleRange",
+    "gat_attention_ops",
+    "gcn_layer_ops",
+    "work_elems",
+]
 
 
 class VisibleRange(enum.IntEnum):
@@ -84,6 +96,100 @@ def elem_count(shape: str, num_nodes: int, num_edges: int, feat: int) -> int:
         "E1": num_edges,
         "EF": num_edges * feat,
     }[shape]
+
+
+# ----------------------------------------------------------------------
+# Op-kind semantics table
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class OpEffect:
+    """Declarative read/write effects of an op kind.
+
+    This table is the **single source of truth** for what each kind of
+    operation touches; the adapter and the static analyses in
+    :mod:`repro.analysis` both consult it instead of hard-coding per-kind
+    special cases.
+
+    ``reads`` are the shape classes of the operands consumed (in
+    semantic order; ``E1`` is the main edge-aligned operand when
+    present).  ``work_shape`` is the domain the op's FLOPs scale with —
+    note it differs from the *output* shape for reductions and
+    aggregations (an AGGREGATE writes ``NF`` but performs one
+    multiply-add per **edge** x feature).  ``consumes_reduced`` marks
+    ops whose ``N1`` operand is the output of the nearest preceding
+    SEG_REDUCE in the chain — reading it requires that reduction to be
+    *complete*, i.e. separated by a global synchronization (kernel
+    boundary).  ``can_be_linear`` records whether instances of the kind
+    are algebraically eligible for the ``linear`` flag (commuting with
+    sum aggregation); a BCAST, for example, is constant in its edge
+    operand and can never carry it.
+    """
+
+    reads: Tuple[str, ...]
+    writes: str
+    work_shape: str
+    consumes_reduced: bool = False
+    elementwise: bool = False
+    can_be_linear: bool = False
+
+
+OP_EFFECTS: Dict[OpKind, OpEffect] = {
+    OpKind.DENSE: OpEffect(
+        ("NF", "S"), "NF", "NF", elementwise=False, can_be_linear=True
+    ),
+    OpKind.EDGE_MAP: OpEffect(
+        ("E1",), "E1", "E1", elementwise=True, can_be_linear=True
+    ),
+    OpKind.U_ADD_V: OpEffect(
+        ("N1", "N1"), "E1", "E1", elementwise=True, can_be_linear=False
+    ),
+    OpKind.SEG_REDUCE: OpEffect(
+        ("E1",), "N1", "E1", can_be_linear=False
+    ),
+    OpKind.BCAST: OpEffect(
+        ("N1",), "E1", "E1", consumes_reduced=True, elementwise=True,
+        can_be_linear=False,
+    ),
+    OpKind.EDGE_DIV: OpEffect(
+        ("E1", "N1"), "E1", "E1", consumes_reduced=True, elementwise=True,
+        can_be_linear=True,
+    ),
+    OpKind.AGGREGATE: OpEffect(
+        ("NF", "E1"), "NF", "EF", can_be_linear=False
+    ),
+    OpKind.NODE_MAP: OpEffect(
+        ("NF",), "NF", "NF", elementwise=True, can_be_linear=True
+    ),
+}
+
+
+def work_elems(op: "Op", num_nodes: int, num_edges: int, feat: int) -> int:
+    """Elements an op's FLOPs scale with (its work domain, not its
+    output shape — see :class:`OpEffect`)."""
+    return elem_count(
+        OP_EFFECTS[op.kind].work_shape, num_nodes, num_edges, feat
+    )
+
+
+#: Numeric interpretation of the shipped ops, keyed by op *name*: a
+#: callable ``f(x, aux) -> array`` where ``x`` is the main edge-aligned
+#: operand and ``aux`` the secondary per-element operand (a per-center
+#: constant broadcast along edges, e.g. EDGE_DIV's segment-sum
+#: denominator or a norm scale).  The linear-property verifier probes
+#: these for distributivity over sum aggregation; an op name absent here
+#: cannot be numerically verified.
+OP_NUMERIC: Dict[str, Callable] = {
+    "exp": lambda x, aux: np.exp(x),
+    "leaky_relu": lambda x, aux: np.where(x > 0.0, x, 0.2 * x),
+    "relu": lambda x, aux: np.maximum(x, 0.0),
+    "div": lambda x, aux: x / aux,
+    "bcast": lambda x, aux: aux + 0.0 * x,
+    "u_add_v": lambda x, aux: aux + 0.0 * x,
+    "norm_src": lambda x, aux: x * aux,
+    "norm_dst": lambda x, aux: x * aux,
+    "scale": lambda x, aux: x * aux,
+}
 
 
 def gat_attention_ops() -> List[Op]:

@@ -29,7 +29,7 @@ import numpy as np
 from ..gpusim.config import GPUConfig
 from ..gpusim.kernel import KernelSpec
 from ..graph.csr import CSRGraph
-from .compgraph import FusionGroup, FusionPlan, Op, OpKind
+from .compgraph import FusionGroup, FusionPlan, OpKind
 from .grouping import GroupingPlan, identity_grouping
 
 __all__ = [
@@ -167,6 +167,7 @@ def aggregation_kernel(
         atomics=atomics,
         counts_launch=counts_launch,
         tag=tag,
+        block_center=g.group_center,
     )
     return _apply_order(kernel, layout)
 
@@ -234,6 +235,7 @@ def scalar_segment_reduce_kernel(
         stream_bytes=stream,
         counts_launch=counts_launch,
         tag="graph",
+        block_center=np.arange(graph.num_nodes, dtype=np.int64),
     )
 
 

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.driver import verify_lowering
 from ..core.adapter import plan_fusion
 from ..core.compgraph import gat_attention_ops, gcn_layer_ops
 from ..core.grouping import identity_grouping, neighbor_grouping
@@ -63,6 +64,13 @@ class OursOptions:
     redundancy_bypass: bool = True
     tuned: bool = True
     ng_bound: Optional[int] = None  # fixed bound instead of tuning
+    #: Opt-in static verification: run the four analysis passes
+    #: (legality, linearity, atomics, conservation) over every plan this
+    #: runtime lowers and raise :class:`PlanVerificationError` on any
+    #: error finding.  Off by default — verification is pure overhead on
+    #: a known-good pipeline; the benchmark harness enables it under
+    #: ``REPRO_VERIFY_PLANS=1``.
+    verify_plans: bool = False
 
     @property
     def sage_strategy(self) -> SageStrategy:
@@ -155,22 +163,28 @@ class OursRuntime(Framework):
         for li in range(model.num_layers):
             f_in, f_out = dims[li], dims[li + 1]
             layout = self.layout(graph, f_out, sim)
-            grouped = layout.grouping.needs_atomic.any()
+            grouped = bool(layout.grouping.needs_atomic.any())
+            ops = gcn_layer_ops()
             plan = plan_fusion(
-                gcn_layer_ops(),
+                ops,
                 allow_adapter=opts.adapter,
                 allow_linear=opts.linear_property,
-                grouped=bool(grouped),
+                grouped=grouped,
             )
             mem.alloc_tensor(f"hw{li}", n, f_out)
             kernels.append(
                 gemm_kernel(n, f_in, f_out, sim, name=f"gcn{li}.gemm")
             )
             mem.alloc_tensor(f"h{li + 1}", n, f_out)
-            kernels.extend(
-                lower_plan(plan, graph, f_out, sim, layout,
-                           prefix=f"gcn{li}.")
-            )
+            layer_kernels = lower_plan(plan, graph, f_out, sim, layout,
+                                       prefix=f"gcn{li}.")
+            if opts.verify_plans:
+                verify_lowering(
+                    ops, plan, layer_kernels, graph, f_out, sim, layout,
+                    grouped=grouped, label=f"ours:gcn{li}:{graph.name}",
+                    check_linearity=(li == 0),
+                ).raise_on_errors()
+            kernels.extend(layer_kernels)
             if li < model.num_layers - 1:
                 kernels.append(
                     node_map_kernel(n, f_out, sim, name=f"gcn{li}.relu")
@@ -206,8 +220,9 @@ class OursRuntime(Framework):
             f_in, f_out = dims[li], dims[li + 1]
             layout = self.layout(graph, f_out, sim)
             grouped = bool(layout.grouping.needs_atomic.any())
+            ops = gat_attention_ops()
             plan = plan_fusion(
-                gat_attention_ops(),
+                ops,
                 allow_adapter=opts.adapter,
                 allow_linear=opts.linear_property,
                 grouped=grouped,
@@ -224,10 +239,15 @@ class OursRuntime(Framework):
                 gemm_kernel(n, f_out, 2, sim, name=f"gat{li}.gemm_att")
             )
             mem.alloc_tensor(f"h{li + 1}", n, f_out)
-            kernels.extend(
-                lower_plan(plan, graph, f_out, sim, layout,
-                           prefix=f"gat{li}.")
-            )
+            layer_kernels = lower_plan(plan, graph, f_out, sim, layout,
+                                       prefix=f"gat{li}.")
+            if opts.verify_plans:
+                verify_lowering(
+                    ops, plan, layer_kernels, graph, f_out, sim, layout,
+                    grouped=grouped, label=f"ours:gat{li}:{graph.name}",
+                    check_linearity=(li == 0),
+                ).raise_on_errors()
+            kernels.extend(layer_kernels)
             if li < model.num_layers - 1:
                 kernels.append(
                     node_map_kernel(n, f_out, sim, name=f"gat{li}.relu")

@@ -21,11 +21,20 @@ locality-bound, so no row trace is needed.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Optional
 
 import numpy as np
 
-__all__ = ["KernelSpec"]
+__all__ = ["KernelSpec", "strict_mode"]
+
+
+def strict_mode() -> bool:
+    """Opt-in deep validation of kernel specs (``REPRO_STRICT=1``).
+
+    Off by default: the checks scan every per-block array, which is real
+    work on hot lowering paths that build thousands of kernels."""
+    return os.environ.get("REPRO_STRICT", "") not in ("", "0")
 
 
 @dataclasses.dataclass
@@ -39,6 +48,11 @@ class KernelSpec:
     atomics: Optional[np.ndarray] = None    # int64[B]
     counts_launch: bool = True              # pay launch overhead?
     tag: str = ""                           # e.g. "cusparse", "fused"
+    #: Owning center node per block for center-parallel kernels (None
+    #: for edge-parallel / dense kernels).  Pure analysis metadata: the
+    #: atomic-race detector uses it to find write-write conflicts; it
+    #: never enters the cost model or the memo fingerprint.
+    block_center: Optional[np.ndarray] = None  # int64[B]
 
     def __post_init__(self) -> None:
         self.block_flops = np.asarray(self.block_flops, dtype=np.float64)
@@ -63,6 +77,47 @@ class KernelSpec:
                 raise ValueError(f"{self.name}: row_ptr/row_ids mismatch")
         if self.stream_bytes.shape[0] != b or self.atomics.shape[0] != b:
             raise ValueError(f"{self.name}: per-block array length mismatch")
+        if self.block_center is not None:
+            self.block_center = np.asarray(self.block_center, dtype=np.int64)
+            if self.block_center.shape[0] != b:
+                raise ValueError(
+                    f"{self.name}: block_center has "
+                    f"{self.block_center.shape[0]} entries for {b} blocks"
+                )
+        if strict_mode():
+            self.validate_strict()
+
+    def validate_strict(self) -> None:
+        """Deep structural validation (see :func:`strict_mode`)."""
+        name = self.name
+        if self.row_ptr is not None:
+            if self.row_ptr[0] != 0:
+                raise ValueError(f"{name}: row_ptr[0] must be 0, got "
+                                 f"{self.row_ptr[0]}")
+            if np.any(np.diff(self.row_ptr) < 0):
+                bad = int(np.argmax(np.diff(self.row_ptr) < 0))
+                raise ValueError(
+                    f"{name}: row_ptr not monotonic at block {bad} "
+                    f"({self.row_ptr[bad]} -> {self.row_ptr[bad + 1]})"
+                )
+            if self.row_ids.size and self.row_ids.min() < 0:
+                raise ValueError(f"{name}: negative row id "
+                                 f"{int(self.row_ids.min())}")
+        for label, arr in (("block_flops", self.block_flops),
+                           ("stream_bytes", self.stream_bytes)):
+            if not np.all(np.isfinite(arr)):
+                raise ValueError(f"{name}: non-finite {label}")
+            if arr.size and arr.min() < 0:
+                raise ValueError(
+                    f"{name}: negative {label} ({float(arr.min())})"
+                )
+        if self.atomics.size and self.atomics.min() < 0:
+            raise ValueError(
+                f"{name}: negative atomics count "
+                f"({int(self.atomics.min())})"
+            )
+        if self.row_bytes < 0:
+            raise ValueError(f"{name}: negative row_bytes")
 
     # ------------------------------------------------------------------
     @property
@@ -136,4 +191,8 @@ class KernelSpec:
             atomics=self.atomics[block_perm],
             counts_launch=self.counts_launch,
             tag=self.tag,
+            block_center=(
+                None if self.block_center is None
+                else self.block_center[block_perm]
+            ),
         )

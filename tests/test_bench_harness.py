@@ -1,7 +1,5 @@
 """Tests for the benchmark harness utilities."""
 
-import os
-
 import pytest
 
 from repro.bench import (
@@ -12,7 +10,6 @@ from repro.bench import (
     sweep_config,
     write_result,
 )
-from repro.bench.harness import RESULTS_DIR
 from repro.bench.paper_expected import (
     DATASET_ORDER,
     FIG7_GAT_MS,

@@ -1,7 +1,5 @@
 """Tests for the computation-graph IR and the visible-range adapter."""
 
-import pytest
-
 from repro.core import (
     Op,
     OpKind,

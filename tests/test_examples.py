@@ -7,7 +7,6 @@ qualitative structure.
 
 import importlib.util
 import os
-import sys
 
 import pytest
 

@@ -18,7 +18,7 @@ from repro.frameworks import (
     default_frameworks,
     make_features,
 )
-from repro.gpusim import GPUConfig, SimulatedOOM, V100_SCALED
+from repro.gpusim import SimulatedOOM, V100_SCALED
 from repro.graph import small_dataset
 from repro.models import GATConfig, GCNConfig, SageLSTMConfig
 

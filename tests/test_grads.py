@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import coo_to_csr, power_law_graph
+from repro.graph import power_law_graph
 from repro.models import GATParams, GCNParams
 from repro.models.training import (
     gat_forward_backward,
@@ -14,8 +14,6 @@ from repro.models.training import (
 from repro.ops import (
     copy_u_sum,
     gather_src,
-    leaky_relu,
-    relu,
     segment_softmax,
     segment_sum,
     u_add_v,

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.gpusim import (
-    GPUConfig,
     KernelSpec,
     V100,
     simulate_kernel,
@@ -14,7 +13,6 @@ from repro.gpusim import (
 )
 from repro.gpusim.executor import (
     _list_schedule,
-    block_durations,
     interleaved_order,
 )
 

@@ -22,7 +22,6 @@ from repro.models import (
     layer_sum,
     sage_lstm_reference_forward,
 )
-from repro.ops import segment_softmax
 
 
 @pytest.fixture

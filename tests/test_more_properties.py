@@ -1,6 +1,5 @@
 """Cross-cutting property tests: adapter legality, simulator coherence."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -8,7 +7,6 @@ from hypothesis import strategies as st
 from repro.core import Op, OpKind, plan_fusion
 from repro.core.lowering import ExecLayout, aggregation_kernel
 from repro.gpusim import (
-    KernelSpec,
     V100,
     V100_SCALED,
     simulate_kernel,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.graph import small_dataset
 from repro.models import (
-    GATConfig,
     MultiHeadGATConfig,
     gat_reference_forward,
     multihead_gat_forward,
