@@ -100,10 +100,18 @@ def run_workload(spec) -> dict:
     counts = PERF.counts
     hits = counts.get("kernel_memo_hit", 0)
     misses = counts.get("kernel_memo_miss", 0)
+    secs = PERF.seconds
     return {
         "seconds": round(seconds, 3),
         "result_hash": _result_hash(results),
-        "perf_seconds": {k: round(v, 3) for k, v in PERF.seconds.items()},
+        "perf_seconds": {k: round(v, 3) for k, v in secs.items()},
+        # Compile-once/run-many split: time spent in the staged plan
+        # pipeline vs. executing compiled plans through the simulator.
+        "plan_seconds": round(secs.get("plan_compile", 0.0), 3),
+        "run_seconds": round(secs.get("plan_execute", 0.0), 3),
+        "plan_cache_hits": counts.get("plan_cache_hit", 0)
+        + counts.get("plan_cache_disk_hit", 0),
+        "plan_cache_misses": counts.get("plan_cache_miss", 0),
         "kernel_memo_hit_rate": round(hits / (hits + misses), 4)
         if hits + misses
         else 0.0,
@@ -154,7 +162,9 @@ def main() -> None:
     print(f"workload: {'quick' if quick else 'full'}")
     fast = _run_mode("fast", quick)
     print(f"fast:      {fast['seconds']:8.2f}s  "
-          f"memo hit rate {fast['kernel_memo_hit_rate']:.2f}")
+          f"memo hit rate {fast['kernel_memo_hit_rate']:.2f}  "
+          f"(plan {fast['plan_seconds']:.2f}s / "
+          f"run {fast['run_seconds']:.2f}s)")
     ref = _run_mode("reference", quick)
     print(f"reference: {ref['seconds']:8.2f}s")
 
@@ -176,6 +186,10 @@ def main() -> None:
         "result_hash": ref["result_hash"],
         "kernel_memo_hit_rate": fast["kernel_memo_hit_rate"],
         "stream_cache_hits": fast["stream_cache_hits"],
+        "plan_seconds": fast["plan_seconds"],
+        "run_seconds": fast["run_seconds"],
+        "plan_cache_hits": fast["plan_cache_hits"],
+        "plan_cache_misses": fast["plan_cache_misses"],
         "fast_perf_seconds": fast["perf_seconds"],
     }
     trajectory = []

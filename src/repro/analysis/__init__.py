@@ -28,8 +28,10 @@ that verifies every plan the runtime lowers.
 from .atomics import check_atomic_races
 from .conservation import check_conservation, expected_group_cost
 from .driver import (
+    FUSION_CONFIGS,
     MODEL_CHAINS,
     lint_chain,
+    lint_plan,
     lint_shipped,
     verify_lowering,
 )
@@ -51,8 +53,10 @@ __all__ = [
     "ERROR",
     "WARNING",
     "INFO",
+    "FUSION_CONFIGS",
     "MODEL_CHAINS",
     "chain_dataflow",
+    "lint_plan",
     "check_atomic_races",
     "check_conservation",
     "check_fusion_legality",

@@ -186,10 +186,15 @@ def check_conservation(
                 f"{want_bytes:.6g} from element counts — lowering "
                 f"drifted from the documented cost conventions",
             ))
-    # Whole-plan envelope vs. the unfused element-count resolution.
+    # Whole-plan envelope vs. the unfused element-count resolution.  A
+    # baseline's serialized aggregation (agg_compute_scale > 1) pays that
+    # factor in *both* terms — the envelope polices fusion, not the
+    # baseline's documented inefficiency.
     n, e, f = graph.num_nodes, graph.num_edges, feat_len
     unfused_work = sum(
-        op.flops_per_elem * work_elems(op, n, e, f) for op in ops
+        op.flops_per_elem * work_elems(op, n, e, f)
+        * (agg_compute_scale if op.kind == OpKind.AGGREGATE else 1.0)
+        for op in ops
     )
     if unfused_work > 0:
         ratio = total_lowered_flops / unfused_work

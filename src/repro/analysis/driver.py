@@ -25,11 +25,18 @@ from ..graph.csr import CSRGraph
 from ..graph.datasets import DATASET_NAMES, load_dataset
 from .atomics import check_atomic_races
 from .conservation import check_conservation
-from .findings import AnalysisReport
+from .findings import ERROR, AnalysisReport, Finding
 from .legality import check_fusion_legality
 from .linearity import check_linear_flags
 
-__all__ = ["verify_lowering", "lint_chain", "lint_shipped", "MODEL_CHAINS"]
+__all__ = [
+    "verify_lowering",
+    "lint_chain",
+    "lint_shipped",
+    "lint_plan",
+    "MODEL_CHAINS",
+    "FUSION_CONFIGS",
+]
 
 MODEL_CHAINS = {
     "gat": gat_attention_ops,
@@ -80,15 +87,34 @@ def verify_lowering(
     return report
 
 
+def _select_fusions(fusions: Optional[Iterable[str]]):
+    """Resolve a fusion-config name filter against FUSION_CONFIGS."""
+    if fusions is None:
+        return FUSION_CONFIGS
+    wanted = list(fusions)
+    known = {name for name, _, _ in FUSION_CONFIGS}
+    unknown = [name for name in wanted if name not in known]
+    if unknown:
+        raise KeyError(
+            f"unknown fusion config(s) {unknown}; one of {sorted(known)}"
+        )
+    return tuple(c for c in FUSION_CONFIGS if c[0] in wanted)
+
+
 def lint_chain(
     model: str,
     graph: CSRGraph,
     *,
     config: Optional[GPUConfig] = None,
     feats: Sequence[int] = DEFAULT_FEATS,
+    fusions: Optional[Iterable[str]] = None,
     check_linearity: bool = False,
 ) -> AnalysisReport:
-    """Lint every fusion config x layout x feat of one model on a graph."""
+    """Lint every fusion config x layout x feat of one model on a graph.
+
+    ``fusions`` restricts the sweep to a subset of the shipped fusion
+    configs by name ("unfused", "adapter", "linear").
+    """
     config = config or V100_SCALED
     ops = MODEL_CHAINS[model]()
     report = AnalysisReport(label=f"{model}:{graph.name or 'graph'}")
@@ -100,7 +126,7 @@ def lint_chain(
     for lname, grouping in layouts:
         grouped = bool(grouping.needs_atomic.any())
         layout = ExecLayout(grouping=grouping)
-        for cname, adapter, linear in FUSION_CONFIGS:
+        for cname, adapter, linear in _select_fusions(fusions):
             plan = plan_fusion(
                 ops, allow_adapter=adapter, allow_linear=linear,
                 grouped=grouped, label=cname,
@@ -130,6 +156,7 @@ def lint_shipped(
     *,
     config: Optional[GPUConfig] = None,
     feats: Sequence[int] = DEFAULT_FEATS,
+    fusions: Optional[Iterable[str]] = None,
 ) -> AnalysisReport:
     """Lint all shipped model/dataset/config combinations."""
     names = list(dataset_names or DATASET_NAMES)
@@ -144,6 +171,64 @@ def lint_shipped(
         for model in model_list:
             report.merge(lint_chain(
                 model, graph, config=config, feats=feats,
-                check_linearity=False,
+                fusions=fusions, check_linearity=False,
             ))
+    return report
+
+
+def lint_plan(
+    plan,
+    graph: Optional[CSRGraph] = None,
+    config: Optional[GPUConfig] = None,
+) -> AnalysisReport:
+    """Run the static passes over a :class:`CompiledPlan` *artifact*.
+
+    This is the offline path: a saved plan carries per-layer
+    :class:`~repro.core.plan.LayerRecord` entries (fusion plan, layout
+    arrays, kernel slice), so the four passes re-verify the artifact
+    without the live pipeline that produced it.  Layers lowered outside
+    the shared ``lower_plan`` path carry ``chain=None`` and are skipped.
+
+    ``graph`` defaults to loading ``plan.graph_name`` from the shipped
+    datasets; a graph whose structural fingerprint disagrees with the
+    plan's is an error finding (the artifact is stale for this graph).
+    """
+    label = plan.label or f"{plan.framework}:{plan.model}"
+    report = AnalysisReport(label=f"plan:{label}", checked=0)
+    if graph is None:
+        if plan.graph_name not in DATASET_NAMES:
+            report.findings.append(Finding(
+                "plan", ERROR, plan.plan_id,
+                f"graph {plan.graph_name!r} is not a shipped dataset; "
+                "pass the graph explicitly",
+            ))
+            return report
+        graph = load_dataset(plan.graph_name)
+    if graph.fingerprint != plan.graph_fingerprint:
+        report.findings.append(Finding(
+            "plan", ERROR, plan.plan_id,
+            f"graph fingerprint {graph.fingerprint} != plan's "
+            f"{plan.graph_fingerprint}: stale artifact",
+        ))
+        return report
+    config = config or plan.gpu_config
+    for rec in plan.layers:
+        if rec.chain is None or rec.fusion is None:
+            continue
+        ops = MODEL_CHAINS[rec.chain]()
+        kernels = plan.kernels[rec.kernel_start:rec.kernel_stop]
+        sub = verify_lowering(
+            ops, rec.fusion, kernels, graph, rec.feat_len, config,
+            rec.layout(), grouped=rec.grouped,
+            label=f"{report.label}:{rec.label}",
+            check_linearity=False,
+            agg_compute_scale=rec.agg_compute_scale,
+            agg_uncoalesced=rec.agg_uncoalesced,
+        )
+        for f in sub.findings:
+            report.findings.append(Finding(
+                f.pass_name, f.severity,
+                f"{sub.label}: {f.where}", f.message,
+            ))
+        report.checked += sub.checked
     return report

@@ -11,7 +11,8 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional, Sequence
 
-from ..core.scheduling import ScheduleResult, locality_aware_schedule
+from ..core.pipeline import shared_schedule
+from ..core.scheduling import ScheduleResult
 from ..frameworks.ours import OursOptions, OursRuntime
 from ..gpusim.config import V100_SCALED, GPUConfig
 from ..graph.csr import CSRGraph
@@ -35,7 +36,6 @@ RESULTS_DIR = os.path.join(
     "benchmarks", "out",
 )
 
-_SCHEDULES: Dict[str, ScheduleResult] = {}
 _RUNTIMES: Dict[OursOptions, OursRuntime] = {}
 
 
@@ -54,14 +54,18 @@ def sweep_config() -> GPUConfig:
 def cached_schedule(graph: CSRGraph) -> ScheduleResult:
     """Locality-aware schedule, computed once per graph per process.
 
-    Keyed by the graph's structural fingerprint: ``id()`` keys alias
-    once the original arrays are garbage-collected and the allocator
-    recycles the address, silently returning another graph's schedule.
+    Delegates to the compilation pipeline's process-wide analysis tier
+    (:func:`repro.core.pipeline.shared_schedule`): same-graph calls
+    return the *same* object, keyed by the graph's structural
+    fingerprint (``id()`` keys alias once the original arrays are
+    garbage-collected and the allocator recycles the address).
     """
-    key = graph.fingerprint
-    if key not in _SCHEDULES:
-        _SCHEDULES[key] = locality_aware_schedule(graph)
-    return _SCHEDULES[key]
+    return shared_schedule(graph)
+
+
+#: Pure function of the graph — runtimes injecting this hook stay in the
+#: content-addressed plan cache (see OursRuntime's ``schedule_fn``).
+cached_schedule.plan_cache_safe = True
 
 
 def verify_plans_default() -> bool:

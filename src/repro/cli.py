@@ -8,11 +8,17 @@ Examples::
     python -m repro table6 --datasets arxiv collab
     python -m repro tune --dataset products --feat 64
     python -m repro schedule --dataset citation
+    python -m repro lint --model gat --dataset arxiv --fusion linear
+    python -m repro plan compile --dataset arxiv --out plans/
+    python -m repro plan show plans/plan_<id>.npz
+    python -m repro plan lint --dir plans/
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
+import os
 import sys
 from typing import List, Optional
 
@@ -141,20 +147,126 @@ def cmd_tune(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .analysis import MODEL_CHAINS, lint_shipped
+    from .analysis import FUSION_CONFIGS, MODEL_CHAINS, lint_shipped
 
-    models = args.models or list(MODEL_CHAINS)
+    # --model/--dataset/--fusion are repeatable singular filters; the
+    # legacy plural spellings (--models/--datasets) merge with them.
+    models = (args.models or []) + (args.model or [])
+    models = models or list(MODEL_CHAINS)
     for m in models:
         if m not in MODEL_CHAINS:
             raise SystemExit(
                 f"unknown model {m!r}; choose from {list(MODEL_CHAINS)}"
             )
-    report = lint_shipped(_dataset_list(args), models)
+    args.datasets = (args.datasets or []) + (args.dataset or []) or None
+    fusion_names = [name for name, _, _ in FUSION_CONFIGS]
+    fusions = args.fusion or None
+    for f in fusions or []:
+        if f not in fusion_names:
+            raise SystemExit(
+                f"unknown fusion config {f!r}; choose from {fusion_names}"
+            )
+    report = lint_shipped(_dataset_list(args), models, fusions=fusions)
     if args.json:
         print(report.to_json())
     else:
         print(report.format(verbose=args.verbose))
     return 0 if report.ok else 1
+
+
+# ----------------------------------------------------------------------
+# repro plan — compile/show/lint CompiledPlan artifacts
+# ----------------------------------------------------------------------
+
+def _plan_paths(args) -> List[str]:
+    paths = list(args.paths or [])
+    if getattr(args, "dir", None):
+        paths.extend(sorted(glob.glob(os.path.join(args.dir, "*.npz"))))
+    if not paths:
+        raise SystemExit("no plan artifacts given (PATHS or --dir)")
+    return paths
+
+
+def cmd_plan_compile(args) -> int:
+    """Compile shipped pipelines to on-disk CompiledPlan artifacts."""
+    from .core.persistence import save_plan
+
+    sim = bench_config()
+    frameworks = all_frameworks()
+    if args.frameworks:
+        for f in args.frameworks:
+            if f not in frameworks:
+                raise SystemExit(
+                    f"unknown framework {f!r}; choose from "
+                    f"{list(frameworks)}"
+                )
+        frameworks = {
+            k: v for k, v in frameworks.items() if k in args.frameworks
+        }
+    models = args.models or ["gcn", "gat", "sage_lstm"]
+    os.makedirs(args.out, exist_ok=True)
+    written = 0
+    for name in _dataset_list(args):
+        g = load_dataset(name)
+        for fname, fw in frameworks.items():
+            for model in models:
+                try:
+                    plan = fw.compile(model, g, sim)
+                except NotSupported:
+                    continue
+                except SimulatedOOM as exc:
+                    print(f"SKIP {fname}:{model}:{name} (OOM: {exc})")
+                    continue
+                path = os.path.join(args.out, f"plan_{plan.plan_id}.npz")
+                save_plan(path, plan)
+                written += 1
+                print(f"{fname}:{model}:{name} -> {path} "
+                      f"({plan.num_kernels} kernels)")
+    print(f"{written} plan artifact(s) written to {args.out}")
+    return 0
+
+
+def cmd_plan_show(args) -> int:
+    """Print the schema summary of saved plan artifacts."""
+    from .core.persistence import load_plan
+
+    status = 0
+    for path in _plan_paths(args):
+        plan = load_plan(path)
+        if plan is None:
+            print(f"{path}: unreadable or stale plan artifact")
+            status = 1
+            continue
+        print(plan.describe())
+    return status
+
+
+def cmd_plan_lint(args) -> int:
+    """Run the static analysis passes over saved plan artifacts."""
+    from .analysis import lint_plan
+    from .core.persistence import load_plan
+
+    ok = True
+    checked = 0
+    for path in _plan_paths(args):
+        plan = load_plan(path)
+        if plan is None:
+            print(f"{path}: unreadable or stale plan artifact")
+            ok = False
+            continue
+        report = lint_plan(plan)
+        checked += report.checked
+        for f in report.findings:
+            print(f"{path}: {f.format()}")
+        if not report.ok:
+            ok = False
+    print(f"plan lint: {checked} layer lowering(s) checked, "
+          f"{'ok' if ok else 'FINDINGS'}")
+    return 0 if ok else 1
+
+
+def cmd_plan(args) -> int:
+    return args.plan_func(args)
 
 
 def cmd_schedule(args) -> int:
@@ -217,11 +329,53 @@ def build_parser() -> argparse.ArgumentParser:
     add_datasets_arg(sp)
     sp.add_argument("--models", nargs="*", default=None,
                     help="subset of model chains (default: all)")
+    sp.add_argument("--model", action="append", default=None,
+                    help="filter to one model chain (repeatable)")
+    sp.add_argument("--dataset", action="append", default=None,
+                    help="filter to one dataset (repeatable)")
+    sp.add_argument("--fusion", action="append", default=None,
+                    help="filter to one fusion config: unfused, adapter "
+                         "or linear (repeatable)")
     sp.add_argument("--json", action="store_true",
                     help="machine-readable report")
     sp.add_argument("--verbose", action="store_true",
                     help="include info-level findings")
     sp.set_defaults(func=cmd_lint)
+
+    sp = sub.add_parser(
+        "plan",
+        help="compile, inspect and lint CompiledPlan artifacts",
+    )
+    plan_sub = sp.add_subparsers(dest="plan_command", required=True)
+
+    psp = plan_sub.add_parser(
+        "compile", help="compile shipped pipelines to plan artifacts"
+    )
+    add_datasets_arg(psp)
+    psp.add_argument("--frameworks", nargs="*", default=None,
+                     help="subset of frameworks (default: all five)")
+    psp.add_argument("--models", nargs="*", default=None,
+                     choices=["gcn", "gat", "sage_lstm"],
+                     help="subset of models (default: all three)")
+    psp.add_argument("--out", default="benchmarks/out/plans",
+                     help="output directory for plan_<id>.npz artifacts")
+    psp.set_defaults(func=cmd_plan, plan_func=cmd_plan_compile)
+
+    psp = plan_sub.add_parser(
+        "show", help="print the schema summary of plan artifacts"
+    )
+    psp.add_argument("paths", nargs="*", help="plan_<id>.npz files")
+    psp.add_argument("--dir", default=None,
+                     help="read every *.npz artifact in a directory")
+    psp.set_defaults(func=cmd_plan, plan_func=cmd_plan_show)
+
+    psp = plan_sub.add_parser(
+        "lint", help="run the static analysis passes over saved artifacts"
+    )
+    psp.add_argument("paths", nargs="*", help="plan_<id>.npz files")
+    psp.add_argument("--dir", default=None,
+                     help="read every *.npz artifact in a directory")
+    psp.set_defaults(func=cmd_plan, plan_func=cmd_plan_lint)
     return p
 
 

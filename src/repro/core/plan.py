@@ -1,0 +1,291 @@
+"""The :class:`CompiledPlan` artifact: compile once, run many.
+
+The paper's plan-time decisions (locality-aware scheduling, neighbor
+grouping, visible-range fusion, tuning) are computed once per graph and
+amortized over many executions (§4.4).  This module makes that contract
+a first-class object: every framework's ``compile()`` produces one
+frozen, content-addressed ``CompiledPlan`` holding everything execution
+needs — the lowered kernel list, the per-layer fusion/layout records the
+static analyses re-verify offline, per-stage timings and the
+graph+model+config fingerprints that address it.
+
+The address (:func:`plan_key`) is computed from the compilation *inputs*
+(framework, model config, graph fingerprint, options, GPU config), so a
+cache lookup costs one hash — no pipeline stage runs on a hit.  The
+:class:`PlanCache` keeps an in-process tier plus an optional on-disk
+tier (``REPRO_PLAN_CACHE_DIR``) backed by
+:mod:`repro.core.persistence`, so a fresh process re-loads the identical
+artifact instead of re-deriving it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..gpusim.config import GPUConfig
+from ..gpusim.kernel import KernelSpec
+from ..gpusim.memo import _ALL_CACHES
+from ..graph.csr import CSRGraph
+from ..perf import PERF, memo_enabled
+from .compgraph import FusionPlan
+from .grouping import GroupingPlan
+from .lowering import ExecLayout
+
+__all__ = [
+    "PLAN_VERSION",
+    "STAGE_NAMES",
+    "LayerRecord",
+    "CompiledPlan",
+    "plan_key",
+    "PlanCache",
+    "PLAN_CACHE",
+]
+
+#: Bumped whenever the serialized schema changes; stale artifacts are
+#: recompiled, never guessed at.
+PLAN_VERSION = 1
+
+#: The staged pipeline, in order.  Every ``PlanBuilder.stage`` entry must
+#: name one of these.
+STAGE_NAMES = ("trace", "schedule", "group", "adapt", "lower", "tune")
+
+
+@dataclasses.dataclass
+class LayerRecord:
+    """One lintable layer inside a plan.
+
+    Records the fusion plan and execution layout a slice of the plan's
+    kernels was lowered with, so :func:`repro.analysis.lint_plan` can
+    re-run the four static passes over the *artifact* without the live
+    pipeline.  ``chain`` names an op-chain factory in
+    :data:`repro.analysis.MODEL_CHAINS`; layers lowered outside the
+    shared ``lower_plan`` path (dense GEMMs, baseline hand-rolled
+    kernels) carry ``chain=None`` and are skipped by the linter.
+    """
+
+    label: str
+    chain: Optional[str]            # "gat" | "gcn" | None
+    feat_len: int
+    grouped: bool
+    kernel_start: int               # [start, stop) slice into plan.kernels
+    kernel_stop: int
+    fusion: Optional[FusionPlan] = None
+    # Execution layout, flattened to plain arrays for serialization.
+    bound: int = 0
+    group_ptr: Optional[np.ndarray] = None
+    group_center: Optional[np.ndarray] = None
+    needs_atomic: Optional[np.ndarray] = None
+    center_order: Optional[np.ndarray] = None
+    lanes: int = 32
+    packed_rows: bool = False
+    agg_compute_scale: float = 1.0
+    agg_uncoalesced: float = 1.0
+
+    @classmethod
+    def from_layout(
+        cls,
+        layout: ExecLayout,
+        *,
+        label: str,
+        chain: Optional[str],
+        feat_len: int,
+        grouped: bool,
+        kernel_start: int,
+        kernel_stop: int,
+        fusion: Optional[FusionPlan] = None,
+        agg_compute_scale: float = 1.0,
+        agg_uncoalesced: float = 1.0,
+    ) -> "LayerRecord":
+        g = layout.grouping
+        return cls(
+            label=label,
+            chain=chain,
+            feat_len=feat_len,
+            grouped=grouped,
+            kernel_start=kernel_start,
+            kernel_stop=kernel_stop,
+            fusion=fusion,
+            bound=g.bound,
+            group_ptr=g.group_ptr,
+            group_center=g.group_center,
+            needs_atomic=g.needs_atomic,
+            center_order=layout.center_order,
+            lanes=layout.lanes,
+            packed_rows=layout.packed_rows,
+            agg_compute_scale=agg_compute_scale,
+            agg_uncoalesced=agg_uncoalesced,
+        )
+
+    def layout(self) -> ExecLayout:
+        """Reconstruct the :class:`ExecLayout` this layer lowered with."""
+        return ExecLayout(
+            grouping=GroupingPlan(
+                bound=self.bound,
+                group_ptr=self.group_ptr,
+                group_center=self.group_center,
+                needs_atomic=self.needs_atomic,
+            ),
+            center_order=self.center_order,
+            lanes=self.lanes,
+            packed_rows=self.packed_rows,
+        )
+
+
+@dataclasses.dataclass
+class CompiledPlan:
+    """The frozen output of one staged compilation.
+
+    Treated as immutable once built (the repo-wide array convention):
+    the plan cache hands the same object to every execution of the same
+    (framework, model, graph, config) key.
+    """
+
+    plan_id: str                    # content address (plan_key)
+    version: int
+    framework: str
+    model: str                      # "gcn" | "gat" | "sage_lstm"
+    graph_name: str
+    graph_fingerprint: str
+    model_config: Dict[str, object]
+    options: Dict[str, object]
+    gpu_config: GPUConfig
+    dispatch_overhead: float
+    label: str
+    kernels: List[KernelSpec]
+    layers: List[LayerRecord]
+    peak_mem_bytes: int = 0
+    stage_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
+    extra: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def compile_seconds(self) -> float:
+        return float(sum(self.stage_seconds.values()))
+
+    def describe(self) -> str:
+        """Human-readable schema summary (``repro plan show``)."""
+        lines = [
+            f"plan {self.plan_id}",
+            f"  framework={self.framework} model={self.model} "
+            f"graph={self.graph_name} ({self.graph_fingerprint[:12]})",
+            f"  kernels={self.num_kernels} layers={len(self.layers)} "
+            f"peak_mem={self.peak_mem_bytes:,} B",
+            "  stages: " + " ".join(
+                f"{s}={self.stage_seconds.get(s, 0.0) * 1e3:.1f}ms"
+                for s in STAGE_NAMES if s in self.stage_seconds
+            ),
+        ]
+        for rec in self.layers:
+            fused = rec.fusion.describe() if rec.fusion else "-"
+            lines.append(
+                f"  layer {rec.label}: chain={rec.chain} F={rec.feat_len} "
+                f"kernels=[{rec.kernel_start}:{rec.kernel_stop}) {fused}"
+            )
+        return "\n".join(lines)
+
+
+def plan_key(
+    framework: str,
+    model: str,
+    graph: CSRGraph,
+    *,
+    model_config: Dict[str, object],
+    options: Dict[str, object],
+    gpu_config: GPUConfig,
+    dispatch_overhead: float,
+) -> str:
+    """Content address of a compilation, computed from its *inputs*.
+
+    Stable across processes: everything is canonicalized through JSON
+    (sorted keys, tuples and lists identical), so a fresh process
+    derives the same key and finds the same on-disk artifact.
+    """
+    payload = json.dumps(
+        {
+            "version": PLAN_VERSION,
+            "framework": framework,
+            "model": model,
+            "graph": graph.fingerprint,
+            "model_config": model_config,
+            "options": options,
+            "gpu_config": dataclasses.asdict(gpu_config),
+            "dispatch_overhead": dispatch_overhead,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+class PlanCache:
+    """Content-addressed plan store: in-process dict + optional disk tier.
+
+    The in-memory tier follows the global memoization switch
+    (``REPRO_KERNEL_MEMO``); the disk tier activates when a directory is
+    configured (``REPRO_PLAN_CACHE_DIR`` or :meth:`set_disk_dir`).
+    Artifacts are one ``plan_<key>.npz`` file each, written atomically
+    by :func:`repro.core.persistence.save_plan`.
+    """
+
+    def __init__(self, disk_dir: Optional[str] = None) -> None:
+        self._mem: Dict[str, CompiledPlan] = {}
+        self._disk_dir = disk_dir
+        _ALL_CACHES.append(self)
+
+    @property
+    def disk_dir(self) -> Optional[str]:
+        return self._disk_dir or os.environ.get("REPRO_PLAN_CACHE_DIR")
+
+    def set_disk_dir(self, path: Optional[str]) -> None:
+        self._disk_dir = path
+
+    def disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, f"plan_{key}.npz")
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[CompiledPlan]:
+        if not memo_enabled():
+            return None
+        plan = self._mem.get(key)
+        if plan is not None:
+            PERF.count("plan_cache_hit")
+            return plan
+        if self.disk_dir:
+            from .persistence import load_plan
+
+            plan = load_plan(self.disk_path(key), expect_id=key)
+            if plan is not None:
+                PERF.count("plan_cache_disk_hit")
+                self._mem[key] = plan
+                return plan
+        PERF.count("plan_cache_miss")
+        return None
+
+    def put(self, plan: CompiledPlan) -> None:
+        if not memo_enabled():
+            return
+        self._mem[plan.plan_id] = plan
+        if self.disk_dir:
+            from .persistence import save_plan
+
+            save_plan(self.disk_path(plan.plan_id), plan)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk artifacts stay)."""
+        self._mem.clear()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+
+#: The process-wide plan cache every framework compiles through.
+PLAN_CACHE = PlanCache()

@@ -1,4 +1,4 @@
-"""Framework interface.
+"""Framework interface: staged compilation + plan execution.
 
 A *framework* here is an execution strategy: how GNN layers lower to
 kernels and device allocations.  All frameworks share the functional
@@ -7,22 +7,43 @@ paper's "semantics unchanged" property, enforced by tests) and the same
 simulator cost model; they differ exactly in the strategies the paper
 analyzes: task granularity, kernel decomposition, expansion vs. fused
 access, and memory behaviour.
+
+Since the compile-once/run-many refactor, every framework is split into
+two halves:
+
+* ``compile_<model>(graph, model, sim) -> CompiledPlan`` — the staged
+  pipeline (``trace -> schedule -> group -> adapt -> lower -> tune``)
+  producing a frozen, content-addressed plan artifact;
+* ``execute(plan, ...) -> ForwardResult`` — run a plan through the
+  simulator (and optionally the functional reference operators).
+
+The generic ``run_*`` entry points are provided here: they resolve the
+plan through the process-wide content-addressed plan cache
+(:data:`repro.core.plan.PLAN_CACHE`, with an optional on-disk tier), so
+executing the same (graph, model, config) twice runs the plan-stage
+pipeline exactly once.
 """
 
 from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Optional
+import time
+from typing import Dict, Optional
 
 import numpy as np
 
+from ..core.pipeline import PlanBuilder
+from ..core.plan import PLAN_CACHE, CompiledPlan, plan_key
+from ..core.sparse_fetch import SageStrategy
 from ..gpusim.config import GPUConfig
+from ..gpusim.executor import simulate_plan
 from ..gpusim.metrics import RunReport
 from ..graph.csr import CSRGraph
-from ..models.gat import GATConfig
-from ..models.gcn import GCNConfig
-from ..models.sage_lstm import SageLSTMConfig
+from ..models.gat import GATConfig, gat_reference_forward
+from ..models.gcn import GCNConfig, gcn_reference_forward
+from ..models.sage_lstm import SageLSTMConfig, sage_lstm_reference_forward
+from ..perf import PERF
 
 __all__ = [
     "Framework",
@@ -71,25 +92,28 @@ def make_features(
     )
 
 
+_DEFAULT_MODELS = {
+    "gcn": GCNConfig,
+    "gat": GATConfig,
+    "sage_lstm": SageLSTMConfig,
+}
+
+
 class Framework(abc.ABC):
-    """Abstract execution strategy."""
+    """Abstract execution strategy: compile to a plan, execute the plan."""
 
     name: str = "abstract"
     #: Host-side per-operator dispatch overhead, seconds.
     dispatch_overhead: float = BASELINE_DISPATCH
 
+    # ------------------------------------------------------------------
+    # Compilation (the staged pipeline; one per supported model)
+    # ------------------------------------------------------------------
     @abc.abstractmethod
-    def run_gcn(
-        self,
-        graph: CSRGraph,
-        model: GCNConfig,
-        sim: GPUConfig,
-        *,
-        compute: bool = False,
-        feat: Optional[np.ndarray] = None,
-        seed: int = 0,
-    ) -> ForwardResult:
-        """One forward pass of the stacked GCN.
+    def compile_gcn(
+        self, graph: CSRGraph, model: GCNConfig, sim: GPUConfig
+    ) -> CompiledPlan:
+        """Compile one forward pass of the stacked GCN into a plan.
 
         Raises :class:`~repro.gpusim.memory.SimulatedOOM` when the
         strategy's footprint exceeds the simulated device memory, and
@@ -97,30 +121,198 @@ class Framework(abc.ABC):
         """
 
     @abc.abstractmethod
-    def run_gat(
-        self,
-        graph: CSRGraph,
-        model: GATConfig,
-        sim: GPUConfig,
-        *,
-        compute: bool = False,
-        feat: Optional[np.ndarray] = None,
-        seed: int = 0,
-    ) -> ForwardResult:
-        """One forward pass of the stacked GAT."""
+    def compile_gat(
+        self, graph: CSRGraph, model: GATConfig, sim: GPUConfig
+    ) -> CompiledPlan:
+        """Compile one forward pass of the stacked GAT into a plan."""
 
     @abc.abstractmethod
-    def run_sage_lstm(
+    def compile_sage_lstm(
+        self, graph: CSRGraph, model: SageLSTMConfig, sim: GPUConfig
+    ) -> CompiledPlan:
+        """Compile one forward pass of GraphSAGE-LSTM into a plan."""
+
+    # ------------------------------------------------------------------
+    # Plan-cache plumbing
+    # ------------------------------------------------------------------
+    def plan_options(self) -> Dict[str, object]:
+        """Framework options that enter the plan's content address."""
+        return {}
+
+    def plan_cache_enabled(self) -> bool:
+        """Whether this instance's plans are globally cacheable.
+
+        Subclasses return False when carrying injected behaviour (e.g. a
+        custom ``schedule_fn``) that the content address cannot see.
+        """
+        return True
+
+    def builder(
+        self, model_name: str, graph: CSRGraph, model, sim: GPUConfig
+    ) -> PlanBuilder:
+        """A stage-attributing builder for one compilation of ``model``."""
+        return PlanBuilder(
+            self.name, model_name, graph, sim,
+            model_config=dataclasses.asdict(model),
+            options=self.plan_options(),
+            dispatch_overhead=self.dispatch_overhead,
+            label=f"{self.name}:{model_name}:{graph.name}",
+        )
+
+    def compile(
         self,
+        model_name: str,
         graph: CSRGraph,
-        model: SageLSTMConfig,
         sim: GPUConfig,
+        model=None,
+    ) -> CompiledPlan:
+        """Resolve a plan for (model, graph, sim): cache hit or compile.
+
+        The content address is computed from the compilation inputs, so
+        a hit skips the staged pipeline entirely — the compile-once half
+        of the compile-once/run-many contract.
+        """
+        if model_name not in _DEFAULT_MODELS:
+            raise KeyError(f"unknown model {model_name!r}")
+        if model is None:
+            model = _DEFAULT_MODELS[model_name]()
+        cacheable = self.plan_cache_enabled()
+        key = plan_key(
+            self.name, model_name, graph,
+            model_config=dataclasses.asdict(model),
+            options=self.plan_options(),
+            gpu_config=sim,
+            dispatch_overhead=self.dispatch_overhead,
+        )
+        if cacheable:
+            cached = PLAN_CACHE.get(key)
+            if cached is not None:
+                return cached
+        compile_fn = getattr(self, f"compile_{model_name}")
+        with PERF.stage("plan_compile"):
+            plan = compile_fn(graph, model, sim)
+        if cacheable:
+            PLAN_CACHE.put(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: CompiledPlan,
+        sim: Optional[GPUConfig] = None,
         *,
+        graph: Optional[CSRGraph] = None,
+        model=None,
         compute: bool = False,
         feat: Optional[np.ndarray] = None,
         seed: int = 0,
     ) -> ForwardResult:
+        """Run a compiled plan: simulate its kernels (memoized by plan
+        hash) and, when ``compute`` is set, evaluate the functional
+        reference operators for the real output."""
+        t0 = time.perf_counter()
+        with PERF.stage("plan_execute"):
+            report = simulate_plan(plan, sim)
+        for key, value in plan.extra.items():
+            report.extra.setdefault(key, value)
+        perf = report.extra.setdefault("perf", {})
+        perf["plan"] = {
+            "plan_id": plan.plan_id,
+            "compile_seconds": plan.compile_seconds,
+            "stage_seconds": dict(plan.stage_seconds),
+            "execute_seconds": time.perf_counter() - t0,
+        }
+        output = None
+        if compute:
+            if graph is None:
+                raise ValueError("compute=True requires the graph")
+            if model is None:
+                model = _DEFAULT_MODELS[plan.model]()
+            output = self.reference_output(
+                plan.model, graph, model, feat=feat, seed=seed
+            )
+        return ForwardResult(report, output)
+
+    # ------------------------------------------------------------------
+    # Functional reference semantics (shared; PyG overrides with its
+    # gather/scatter composition, Ours overrides the SAGE strategy)
+    # ------------------------------------------------------------------
+    def sage_strategy(self) -> SageStrategy:
+        return SageStrategy.BASE
+
+    def reference_output(
+        self,
+        model_name: str,
+        graph: CSRGraph,
+        model,
+        *,
+        feat: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> np.ndarray:
+        if model_name == "gcn":
+            feat = feat if feat is not None else make_features(
+                graph, model.dims[0], seed
+            )
+            return gcn_reference_forward(graph, feat, model.params(seed))
+        if model_name == "gat":
+            feat = feat if feat is not None else make_features(
+                graph, model.dims[0], seed
+            )
+            return gat_reference_forward(
+                graph, feat, model.params(seed), model.negative_slope
+            )
+        if model_name == "sage_lstm":
+            feat = feat if feat is not None else make_features(
+                graph, model.f_in, seed
+            )
+            return sage_lstm_reference_forward(
+                graph, feat, model.params(seed), model,
+                strategy=self.sage_strategy(),
+            )
+        raise KeyError(f"unknown model {model_name!r}")
+
+    # ------------------------------------------------------------------
+    # Generic run = compile + execute
+    # ------------------------------------------------------------------
+    def _run(
+        self, model_name: str, graph: CSRGraph, model, sim: GPUConfig,
+        *, compute: bool, feat, seed: int,
+    ) -> ForwardResult:
+        hits_before = (
+            PERF.counts.get("plan_cache_hit", 0)
+            + PERF.counts.get("plan_cache_disk_hit", 0)
+        )
+        plan = self.compile(model_name, graph, sim, model=model)
+        cache_hit = (
+            PERF.counts.get("plan_cache_hit", 0)
+            + PERF.counts.get("plan_cache_disk_hit", 0)
+        ) > hits_before
+        result = self.execute(
+            plan, sim, graph=graph, model=model,
+            compute=compute, feat=feat, seed=seed,
+        )
+        result.report.extra["perf"]["plan"]["cache_hit"] = cache_hit
+        return result
+
+    def run_gcn(self, graph, model: GCNConfig, sim: GPUConfig, *,
+                compute=False, feat=None, seed=0) -> ForwardResult:
+        """One forward pass of the stacked GCN (compile-or-load + run)."""
+        return self._run("gcn", graph, model, sim,
+                         compute=compute, feat=feat, seed=seed)
+
+    def run_gat(self, graph, model: GATConfig, sim: GPUConfig, *,
+                compute=False, feat=None, seed=0) -> ForwardResult:
+        """One forward pass of the stacked GAT."""
+        return self._run("gat", graph, model, sim,
+                         compute=compute, feat=feat, seed=seed)
+
+    def run_sage_lstm(self, graph, model: SageLSTMConfig, sim: GPUConfig, *,
+                      compute=False, feat=None, seed=0) -> ForwardResult:
         """One forward pass of GraphSAGE-LSTM."""
+        return self._run("sage_lstm", graph, model, sim,
+                         compute=compute, feat=feat, seed=seed)
 
     def run_model(
         self, model_name: str, graph: CSRGraph, sim: GPUConfig, **kwargs

@@ -18,8 +18,6 @@ Lowering strategy, per the paper's §3 analysis:
 
 from __future__ import annotations
 
-from typing import List
-
 from ..core.compgraph import gat_attention_ops, unfused_plan
 from ..core.lowering import (
     ExecLayout,
@@ -28,15 +26,14 @@ from ..core.lowering import (
     lower_plan,
     node_map_kernel,
 )
+from ..core.plan import CompiledPlan
 from ..core.sparse_fetch import SageStrategy, lower_sage_lstm
 from ..gpusim.config import GPUConfig
-from ..gpusim.executor import simulate_kernels
-from ..gpusim.kernel import KernelSpec
 from ..gpusim.memory import DeviceMemory
-from ..models.gat import GATConfig, gat_reference_forward
-from ..models.gcn import GCNConfig, gcn_reference_forward
-from ..models.sage_lstm import SageLSTMConfig, sage_lstm_reference_forward
-from .base import ForwardResult, Framework, make_features
+from ..models.gat import GATConfig
+from ..models.gcn import GCNConfig
+from ..models.sage_lstm import SageLSTMConfig
+from .base import Framework
 
 __all__ = ["DGLLike"]
 
@@ -58,68 +55,58 @@ class DGLLike(Framework):
     # ------------------------------------------------------------------
     # GCN
     # ------------------------------------------------------------------
-    def run_gcn(self, graph, model: GCNConfig, sim: GPUConfig, *,
-                compute=False, feat=None, seed=0) -> ForwardResult:
+    def compile_gcn(self, graph, model: GCNConfig,
+                    sim: GPUConfig) -> CompiledPlan:
+        b = self.builder("gcn", graph, model, sim)
         mem = DeviceMemory(sim.device_mem_bytes)
         dims = model.dims
         n = graph.num_nodes
         mem.alloc_tensor("graph", graph.num_edges + n)  # CSR (int32/64)
         mem.alloc_tensor("h0", n, dims[0])
-        kernels: List[KernelSpec] = []
-        layout = ExecLayout.default(graph)
+        with b.stage("group"):
+            layout = ExecLayout.default(graph)
         for li in range(model.num_layers):
             f_in, f_out = dims[li], dims[li + 1]
             mem.alloc_tensor(f"hw{li}", n, f_out)
-            kernels.append(
-                gemm_kernel(n, f_in, f_out, sim, name=f"gcn{li}.gemm")
-            )
-            kernels.append(
-                node_map_kernel(n, f_out, sim, name=f"gcn{li}.norm_src")
-            )
             mem.alloc_tensor(f"h{li + 1}", n, f_out)
-            kernels.append(
-                aggregation_kernel(
-                    graph, f_out, sim, layout,
-                    name=f"gcn{li}.aggregate",
-                    edge_stream_bytes_per_edge=0.0,  # binary adjacency
-                    tag="cusparse",                  # SUM reducer path
+            with b.stage("lower"):
+                b.add(
+                    gemm_kernel(n, f_in, f_out, sim, name=f"gcn{li}.gemm"),
+                    node_map_kernel(n, f_out, sim,
+                                    name=f"gcn{li}.norm_src"),
+                    aggregation_kernel(
+                        graph, f_out, sim, layout,
+                        name=f"gcn{li}.aggregate",
+                        edge_stream_bytes_per_edge=0.0,  # binary adjacency
+                        tag="cusparse",                  # SUM reducer path
+                    ),
+                    node_map_kernel(n, f_out, sim,
+                                    name=f"gcn{li}.norm_dst"),
                 )
-            )
-            kernels.append(
-                node_map_kernel(n, f_out, sim, name=f"gcn{li}.norm_dst")
-            )
-            if li < model.num_layers - 1:
-                kernels.append(
-                    node_map_kernel(n, f_out, sim, name=f"gcn{li}.relu")
-                )
+                if li < model.num_layers - 1:
+                    b.add(node_map_kernel(n, f_out, sim,
+                                          name=f"gcn{li}.relu"))
             mem.free(f"hw{li}")
             mem.free(f"h{li}" if li else "h0")
-        report = simulate_kernels(
-            kernels, sim, dispatch_overhead=self.dispatch_overhead,
-            label=f"{self.name}:gcn:{graph.name}",
-            peak_mem_bytes=mem.peak,
-        )
-        output = None
-        if compute:
-            feat = feat if feat is not None else make_features(
-                graph, dims[0], seed
-            )
-            output = gcn_reference_forward(graph, feat, model.params(seed))
-        return ForwardResult(report, output)
+        return b.build(peak_mem_bytes=mem.peak)
 
     # ------------------------------------------------------------------
     # GAT — the seven kernels of Listing 1, per layer
     # ------------------------------------------------------------------
-    def run_gat(self, graph, model: GATConfig, sim: GPUConfig, *,
-                compute=False, feat=None, seed=0) -> ForwardResult:
+    def compile_gat(self, graph, model: GATConfig,
+                    sim: GPUConfig) -> CompiledPlan:
+        b = self.builder("gat", graph, model, sim)
         mem = DeviceMemory(sim.device_mem_bytes)
         dims = model.dims
         n, e = graph.num_nodes, graph.num_edges
         mem.alloc_tensor("graph", e + n)
         mem.alloc_tensor("h0", n, dims[0])
-        kernels: List[KernelSpec] = []
-        layout = ExecLayout.default(graph)
-        plan = unfused_plan(gat_attention_ops())
+        with b.stage("group"):
+            layout = ExecLayout.default(graph)
+        with b.stage("trace"):
+            ops = gat_attention_ops()
+        with b.stage("adapt"):
+            plan = unfused_plan(ops)  # no fusion: one kernel per op
         for li in range(model.num_layers):
             f_in, f_out = dims[li], dims[li + 1]
             mem.alloc_tensor(f"hw{li}", n, f_out)
@@ -127,47 +114,39 @@ class DGLLike(Framework):
             # Per-edge attention scratch: DGL materializes e, exp(e) and
             # the normalized weights as separate [E, 1] tensors.
             mem.alloc_tensor(f"edge{li}", e, 3)
-            kernels.append(
-                gemm_kernel(n, f_in, f_out, sim, name=f"gat{li}.gemm_w")
-            )
-            kernels.append(
-                gemm_kernel(n, f_out, 2, sim, name=f"gat{li}.gemm_att")
-            )
             mem.alloc_tensor(f"h{li + 1}", n, f_out)
-            kernels.extend(
-                lower_plan(plan, graph, f_out, sim, layout,
-                           prefix=f"gat{li}.",
-                           agg_compute_scale=_GAT_AGG_SERIALIZATION,
-                           agg_uncoalesced=_GAT_AGG_UNCOALESCED)
+            with b.stage("lower"):
+                b.add(
+                    gemm_kernel(n, f_in, f_out, sim,
+                                name=f"gat{li}.gemm_w"),
+                    gemm_kernel(n, f_out, 2, sim,
+                                name=f"gat{li}.gemm_att"),
+                )
+                layer_kernels = lower_plan(
+                    plan, graph, f_out, sim, layout, prefix=f"gat{li}.",
+                    agg_compute_scale=_GAT_AGG_SERIALIZATION,
+                    agg_uncoalesced=_GAT_AGG_UNCOALESCED,
+                )
+            b.add_layer(
+                layer_kernels, label=f"gat{li}", chain="gat",
+                feat_len=f_out, layout=layout, grouped=False, fusion=plan,
+                agg_compute_scale=_GAT_AGG_SERIALIZATION,
+                agg_uncoalesced=_GAT_AGG_UNCOALESCED,
             )
             if li < model.num_layers - 1:
-                kernels.append(
-                    node_map_kernel(n, f_out, sim, name=f"gat{li}.relu")
-                )
+                b.add(node_map_kernel(n, f_out, sim, name=f"gat{li}.relu"))
             mem.free(f"hw{li}")
             mem.free(f"att{li}")
             mem.free(f"edge{li}")
             mem.free(f"h{li}" if li else "h0")
-        report = simulate_kernels(
-            kernels, sim, dispatch_overhead=self.dispatch_overhead,
-            label=f"{self.name}:gat:{graph.name}",
-            peak_mem_bytes=mem.peak,
-        )
-        output = None
-        if compute:
-            feat = feat if feat is not None else make_features(
-                graph, dims[0], seed
-            )
-            output = gat_reference_forward(
-                graph, feat, model.params(seed), model.negative_slope
-            )
-        return ForwardResult(report, output)
+        return b.build(peak_mem_bytes=mem.peak)
 
     # ------------------------------------------------------------------
     # GraphSAGE-LSTM — expansion then per-cell transformation
     # ------------------------------------------------------------------
-    def run_sage_lstm(self, graph, model: SageLSTMConfig, sim: GPUConfig, *,
-                      compute=False, feat=None, seed=0) -> ForwardResult:
+    def compile_sage_lstm(self, graph, model: SageLSTMConfig,
+                          sim: GPUConfig) -> CompiledPlan:
+        b = self.builder("sage_lstm", graph, model, sim)
         mem = DeviceMemory(sim.device_mem_bytes)
         n = graph.num_nodes
         mem.alloc_tensor("graph", graph.num_edges + n)
@@ -175,31 +154,15 @@ class DGLLike(Framework):
         # The [N, k, F] expanded neighbor tensor (Observation 4).
         mem.alloc_tensor("expanded", n, model.num_neighbors, model.f_in)
         mem.alloc_tensor("state", n, 2 * model.hidden)
-        kernels, phases = lower_sage_lstm(
-            graph, model.f_in, model.hidden, model.num_neighbors, sim,
-            SageStrategy.BASE, seed=model.sample_seed,
-        )
-        kernels = list(kernels)
-        mem.alloc_tensor("out", n, model.f_out)
-        kernels.append(
-            gemm_kernel(
-                n, model.f_in + model.hidden, model.f_out, sim,
-                name="sage.project",
+        with b.stage("lower"):
+            kernels, phases = lower_sage_lstm(
+                graph, model.f_in, model.hidden, model.num_neighbors, sim,
+                SageStrategy.BASE, seed=model.sample_seed,
             )
+            b.add(*kernels)
+            mem.alloc_tensor("out", n, model.f_out)
+            b.add(gemm_kernel(n, model.f_in + model.hidden, model.f_out,
+                              sim, name="sage.project"))
+        return b.build(
+            peak_mem_bytes=mem.peak, extra={"sage_phases": phases}
         )
-        report = simulate_kernels(
-            kernels, sim, dispatch_overhead=self.dispatch_overhead,
-            label=f"{self.name}:sage_lstm:{graph.name}",
-            peak_mem_bytes=mem.peak,
-        )
-        report.extra["sage_phases"] = phases  # Table 5 attribution
-        output = None
-        if compute:
-            feat = feat if feat is not None else make_features(
-                graph, model.f_in, seed
-            )
-            output = sage_lstm_reference_forward(
-                graph, feat, model.params(seed), model,
-                strategy=SageStrategy.BASE,
-            )
-        return ForwardResult(report, output)

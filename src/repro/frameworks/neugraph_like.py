@@ -19,8 +19,6 @@ description:
 
 from __future__ import annotations
 
-from typing import List
-
 from ..core.lowering import (
     ExecLayout,
     aggregation_kernel,
@@ -28,12 +26,12 @@ from ..core.lowering import (
     gemm_kernel,
     node_map_kernel,
 )
+from ..core.plan import CompiledPlan
 from ..gpusim.config import GPUConfig
-from ..gpusim.executor import simulate_kernels
 from ..gpusim.kernel import KernelSpec
 from ..gpusim.memory import DeviceMemory
-from ..models.gcn import GCNConfig, gcn_reference_forward
-from .base import ForwardResult, Framework, NotSupported, make_features
+from ..models.gcn import GCNConfig
+from .base import Framework, NotSupported
 
 __all__ = ["NeuGraphLike"]
 
@@ -47,8 +45,9 @@ _EXPOSED_TRANSFER = 0.25
 class NeuGraphLike(Framework):
     name = "neugraph"
 
-    def run_gcn(self, graph, model: GCNConfig, sim: GPUConfig, *,
-                compute=False, feat=None, seed=0) -> ForwardResult:
+    def compile_gcn(self, graph, model: GCNConfig,
+                    sim: GPUConfig) -> CompiledPlan:
+        b = self.builder("gcn", graph, model, sim)
         mem = DeviceMemory(sim.device_mem_bytes)
         dims = model.dims
         n, e = graph.num_nodes, graph.num_edges
@@ -58,8 +57,8 @@ class NeuGraphLike(Framework):
         chunk_nodes = max(1, n // 4)
         mem.alloc_tensor("chunk_in", 2 * chunk_nodes, max(dims))
         mem.alloc_tensor("chunk_out", chunk_nodes, max(dims))
-        kernels: List[KernelSpec] = []
-        layout = ExecLayout.default(graph)
+        with b.stage("group"):
+            layout = ExecLayout.default(graph)
         for li in range(model.num_layers):
             f_in, f_out = dims[li], dims[li + 1]
             # Host<->device chunk streaming for this layer's vertex data.
@@ -70,70 +69,50 @@ class NeuGraphLike(Framework):
             effective = xfer_bytes * (
                 sim.dram_bandwidth / _PCIE_BANDWIDTH
             ) * _EXPOSED_TRANSFER
-            kernels.append(
-                KernelSpec.uniform_dense(
-                    f"ng{li}.chunk_stream",
-                    flops=0.0,
-                    bytes_moved=effective,
-                    num_blocks=max(
-                        sim.total_block_slots, int(effective // 65536)
+            with b.stage("lower"):
+                b.add(
+                    KernelSpec.uniform_dense(
+                        f"ng{li}.chunk_stream",
+                        flops=0.0,
+                        bytes_moved=effective,
+                        num_blocks=max(
+                            sim.total_block_slots, int(effective // 65536)
+                        ),
+                        tag="edge",
                     ),
-                    tag="edge",
+                    # SAGA-NN stages: ApplyVertex (GEMM), Scatter,
+                    # ApplyEdge, Gather (aggregate), plus the activation.
+                    gemm_kernel(n, f_in, f_out, sim,
+                                name=f"ng{li}.apply_vertex"),
+                    edge_chain_kernel(
+                        graph, sim, name=f"ng{li}.scatter",
+                        reads_per_edge=8.0, writes_per_edge=4.0,
+                        flops_per_edge=1.0,
+                    ),
+                    edge_chain_kernel(
+                        graph, sim, name=f"ng{li}.apply_edge",
+                        reads_per_edge=4.0, writes_per_edge=4.0,
+                        flops_per_edge=1.0,
+                    ),
+                    aggregation_kernel(
+                        graph, f_out, sim, layout,
+                        name=f"ng{li}.gather",
+                        edge_stream_bytes_per_edge=4.0,
+                        compute_scale=4.0,  # own node-parallel kernel
+                        tag="graph",
+                    ),
                 )
-            )
-            # SAGA-NN stages: ApplyVertex (GEMM), Scatter, ApplyEdge,
-            # Gather (aggregate), plus the activation.
-            kernels.append(
-                gemm_kernel(n, f_in, f_out, sim, name=f"ng{li}.apply_vertex")
-            )
-            kernels.append(
-                edge_chain_kernel(
-                    graph, sim, name=f"ng{li}.scatter",
-                    reads_per_edge=8.0, writes_per_edge=4.0,
-                    flops_per_edge=1.0,
-                )
-            )
-            kernels.append(
-                edge_chain_kernel(
-                    graph, sim, name=f"ng{li}.apply_edge",
-                    reads_per_edge=4.0, writes_per_edge=4.0,
-                    flops_per_edge=1.0,
-                )
-            )
-            kernels.append(
-                aggregation_kernel(
-                    graph, f_out, sim, layout,
-                    name=f"ng{li}.gather",
-                    edge_stream_bytes_per_edge=4.0,
-                    compute_scale=4.0,  # own node-parallel kernel
-                    tag="graph",
-                )
-            )
-            if li < model.num_layers - 1:
-                kernels.append(
-                    node_map_kernel(n, f_out, sim, name=f"ng{li}.relu")
-                )
-        report = simulate_kernels(
-            kernels, sim, dispatch_overhead=self.dispatch_overhead,
-            label=f"{self.name}:gcn:{graph.name}",
-            peak_mem_bytes=mem.peak,
-        )
-        output = None
-        if compute:
-            feat = feat if feat is not None else make_features(
-                graph, dims[0], seed
-            )
-            output = gcn_reference_forward(graph, feat, model.params(seed))
-        return ForwardResult(report, output)
+                if li < model.num_layers - 1:
+                    b.add(node_map_kernel(n, f_out, sim,
+                                          name=f"ng{li}.relu"))
+        return b.build(peak_mem_bytes=mem.peak)
 
-    def run_gat(self, graph, model, sim, *, compute=False, feat=None,
-                seed=0) -> ForwardResult:
+    def compile_gat(self, graph, model, sim) -> CompiledPlan:
         raise NotSupported(
             "NeuGraph's published system predates GAT support"
         )
 
-    def run_sage_lstm(self, graph, model, sim, *, compute=False,
-                      feat=None, seed=0) -> ForwardResult:
+    def compile_sage_lstm(self, graph, model, sim) -> CompiledPlan:
         raise NotSupported(
             "NeuGraph does not implement the LSTM aggregator"
         )

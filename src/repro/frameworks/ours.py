@@ -14,40 +14,42 @@
 
 Every switch is independently controllable through :class:`OursOptions`
 so the ablation benchmarks (Figs. 8–11, Table 6) can toggle exactly one
-mechanism at a time.  Offline analyses (scheduling) and online analyses
-(grouping/tuning) are cached per graph, mirroring the paper's
-amortization argument.
+mechanism at a time.  Compilation runs through the staged pipeline
+(``trace -> schedule -> group -> adapt -> lower -> tune``) into a
+content-addressed :class:`~repro.core.plan.CompiledPlan`; offline
+analyses (scheduling) and online analyses (grouping/tuning) are
+additionally cached per graph, mirroring the paper's amortization
+argument.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..analysis.driver import verify_lowering
 from ..core.adapter import plan_fusion
 from ..core.compgraph import gat_attention_ops, gcn_layer_ops
-from ..core.grouping import identity_grouping, neighbor_grouping
+from ..core.grouping import identity_grouping
 from ..core.lowering import (
     ExecLayout,
     gemm_kernel,
     lower_plan,
     node_map_kernel,
 )
+from ..core.plan import CompiledPlan
 from ..core.scheduling import locality_aware_schedule
 from ..core.sparse_fetch import SageStrategy, lower_sage_lstm
 from ..core.tuner import _cached_grouping, pick_lanes, tune
 from ..gpusim.config import GPUConfig
-from ..gpusim.executor import simulate_kernels
-from ..gpusim.kernel import KernelSpec
 from ..gpusim.memory import DeviceMemory
 from ..graph.csr import CSRGraph
-from ..models.gat import GATConfig, gat_reference_forward
-from ..models.gcn import GCNConfig, gcn_reference_forward
-from ..models.sage_lstm import SageLSTMConfig, sage_lstm_reference_forward
-from .base import ForwardResult, Framework, make_features
+from ..models.gat import GATConfig
+from ..models.gcn import GCNConfig
+from ..models.sage_lstm import SageLSTMConfig
+from .base import Framework
 
 __all__ = ["OursOptions", "OursRuntime"]
 
@@ -95,11 +97,29 @@ class OursRuntime(Framework):
     ) -> None:
         """``schedule_fn(graph) -> ScheduleResult`` overrides how the
         offline analysis is computed (benchmarks inject a process-wide
-        cache through this hook)."""
+        cache through this hook).  An injected function must declare
+        ``plan_cache_safe = True`` to keep this instance's plans in the
+        global content-addressed cache; otherwise the cache is bypassed,
+        since the plan key cannot see the custom behaviour."""
         self.options = options
         self._schedule_fn = schedule_fn or locality_aware_schedule
+        self._plan_cache_safe = schedule_fn is None or bool(
+            getattr(schedule_fn, "plan_cache_safe", False)
+        )
         self._schedule_cache: Dict[str, np.ndarray] = {}
         self._tune_cache: Dict[Tuple[str, int], Optional[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Plan-cache plumbing
+    # ------------------------------------------------------------------
+    def plan_options(self) -> Dict[str, object]:
+        return dataclasses.asdict(self.options)
+
+    def plan_cache_enabled(self) -> bool:
+        return self._plan_cache_safe
+
+    def sage_strategy(self) -> SageStrategy:
+        return self.options.sage_strategy
 
     # ------------------------------------------------------------------
     # Analysis caches
@@ -151,132 +171,125 @@ class OursRuntime(Framework):
     # ------------------------------------------------------------------
     # GCN
     # ------------------------------------------------------------------
-    def run_gcn(self, graph, model: GCNConfig, sim: GPUConfig, *,
-                compute=False, feat=None, seed=0) -> ForwardResult:
+    def compile_gcn(self, graph, model: GCNConfig,
+                    sim: GPUConfig) -> CompiledPlan:
         opts = self.options
+        b = self.builder("gcn", graph, model, sim)
         mem = DeviceMemory(sim.device_mem_bytes)
         dims = model.dims
         n = graph.num_nodes
         mem.alloc_tensor("graph", graph.num_edges + n)
         mem.alloc_tensor("h0", n, dims[0])
-        kernels: List[KernelSpec] = []
         for li in range(model.num_layers):
             f_in, f_out = dims[li], dims[li + 1]
-            layout = self.layout(graph, f_out, sim)
-            grouped = bool(layout.grouping.needs_atomic.any())
-            ops = gcn_layer_ops()
-            plan = plan_fusion(
-                ops,
-                allow_adapter=opts.adapter,
-                allow_linear=opts.linear_property,
-                grouped=grouped,
-            )
+            with b.stage("schedule"):
+                self.center_order(graph)
+            with b.stage("tune"):
+                self.ng_bound(graph, f_out, sim)
+            with b.stage("group"):
+                layout = self.layout(graph, f_out, sim)
+                grouped = bool(layout.grouping.needs_atomic.any())
+            with b.stage("trace"):
+                ops = gcn_layer_ops()
+            with b.stage("adapt"):
+                plan = plan_fusion(
+                    ops,
+                    allow_adapter=opts.adapter,
+                    allow_linear=opts.linear_property,
+                    grouped=grouped,
+                )
             mem.alloc_tensor(f"hw{li}", n, f_out)
-            kernels.append(
-                gemm_kernel(n, f_in, f_out, sim, name=f"gcn{li}.gemm")
-            )
             mem.alloc_tensor(f"h{li + 1}", n, f_out)
-            layer_kernels = lower_plan(plan, graph, f_out, sim, layout,
-                                       prefix=f"gcn{li}.")
+            with b.stage("lower"):
+                gemm = gemm_kernel(n, f_in, f_out, sim,
+                                   name=f"gcn{li}.gemm")
+                layer_kernels = lower_plan(plan, graph, f_out, sim, layout,
+                                           prefix=f"gcn{li}.")
             if opts.verify_plans:
                 verify_lowering(
                     ops, plan, layer_kernels, graph, f_out, sim, layout,
                     grouped=grouped, label=f"ours:gcn{li}:{graph.name}",
                     check_linearity=(li == 0),
                 ).raise_on_errors()
-            kernels.extend(layer_kernels)
+            b.add(gemm)
+            b.add_layer(
+                layer_kernels, label=f"gcn{li}", chain="gcn",
+                feat_len=f_out, layout=layout, grouped=grouped, fusion=plan,
+            )
             if li < model.num_layers - 1:
-                kernels.append(
-                    node_map_kernel(n, f_out, sim, name=f"gcn{li}.relu")
-                )
+                b.add(node_map_kernel(n, f_out, sim, name=f"gcn{li}.relu"))
             mem.free(f"hw{li}")
             mem.free(f"h{li}" if li else "h0")
-        report = simulate_kernels(
-            kernels, sim, dispatch_overhead=self.dispatch_overhead,
-            label=f"{self.name}:gcn:{graph.name}",
-            peak_mem_bytes=mem.peak,
-        )
-        output = None
-        if compute:
-            feat = feat if feat is not None else make_features(
-                graph, dims[0], seed
-            )
-            output = gcn_reference_forward(graph, feat, model.params(seed))
-        return ForwardResult(report, output)
+        return b.build(peak_mem_bytes=mem.peak)
 
     # ------------------------------------------------------------------
     # GAT
     # ------------------------------------------------------------------
-    def run_gat(self, graph, model: GATConfig, sim: GPUConfig, *,
-                compute=False, feat=None, seed=0) -> ForwardResult:
+    def compile_gat(self, graph, model: GATConfig,
+                    sim: GPUConfig) -> CompiledPlan:
         opts = self.options
+        b = self.builder("gat", graph, model, sim)
         mem = DeviceMemory(sim.device_mem_bytes)
         dims = model.dims
         n, e = graph.num_nodes, graph.num_edges
         mem.alloc_tensor("graph", e + n)
         mem.alloc_tensor("h0", n, dims[0])
-        kernels: List[KernelSpec] = []
         for li in range(model.num_layers):
             f_in, f_out = dims[li], dims[li + 1]
-            layout = self.layout(graph, f_out, sim)
-            grouped = bool(layout.grouping.needs_atomic.any())
-            ops = gat_attention_ops()
-            plan = plan_fusion(
-                ops,
-                allow_adapter=opts.adapter,
-                allow_linear=opts.linear_property,
-                grouped=grouped,
-            )
+            with b.stage("schedule"):
+                self.center_order(graph)
+            with b.stage("tune"):
+                self.ng_bound(graph, f_out, sim)
+            with b.stage("group"):
+                layout = self.layout(graph, f_out, sim)
+                grouped = bool(layout.grouping.needs_atomic.any())
+            with b.stage("trace"):
+                ops = gat_attention_ops()
+            with b.stage("adapt"):
+                plan = plan_fusion(
+                    ops,
+                    allow_adapter=opts.adapter,
+                    allow_linear=opts.linear_property,
+                    grouped=grouped,
+                )
             mem.alloc_tensor(f"hw{li}", n, f_out)
             mem.alloc_tensor(f"att{li}", n, 2)
             # One per-edge scratch tensor survives fusion (the unnormalized
             # exp weights), vs. DGL's three.
             mem.alloc_tensor(f"edge{li}", e, 1)
-            kernels.append(
-                gemm_kernel(n, f_in, f_out, sim, name=f"gat{li}.gemm_w")
-            )
-            kernels.append(
-                gemm_kernel(n, f_out, 2, sim, name=f"gat{li}.gemm_att")
-            )
             mem.alloc_tensor(f"h{li + 1}", n, f_out)
-            layer_kernels = lower_plan(plan, graph, f_out, sim, layout,
-                                       prefix=f"gat{li}.")
+            with b.stage("lower"):
+                gemm_w = gemm_kernel(n, f_in, f_out, sim,
+                                     name=f"gat{li}.gemm_w")
+                gemm_att = gemm_kernel(n, f_out, 2, sim,
+                                       name=f"gat{li}.gemm_att")
+                layer_kernels = lower_plan(plan, graph, f_out, sim, layout,
+                                           prefix=f"gat{li}.")
             if opts.verify_plans:
                 verify_lowering(
                     ops, plan, layer_kernels, graph, f_out, sim, layout,
                     grouped=grouped, label=f"ours:gat{li}:{graph.name}",
                     check_linearity=(li == 0),
                 ).raise_on_errors()
-            kernels.extend(layer_kernels)
+            b.add(gemm_w, gemm_att)
+            b.add_layer(
+                layer_kernels, label=f"gat{li}", chain="gat",
+                feat_len=f_out, layout=layout, grouped=grouped, fusion=plan,
+            )
             if li < model.num_layers - 1:
-                kernels.append(
-                    node_map_kernel(n, f_out, sim, name=f"gat{li}.relu")
-                )
+                b.add(node_map_kernel(n, f_out, sim, name=f"gat{li}.relu"))
             for t in (f"hw{li}", f"att{li}", f"edge{li}"):
                 mem.free(t)
             mem.free(f"h{li}" if li else "h0")
-        report = simulate_kernels(
-            kernels, sim, dispatch_overhead=self.dispatch_overhead,
-            label=f"{self.name}:gat:{graph.name}",
-            peak_mem_bytes=mem.peak,
-        )
-        output = None
-        if compute:
-            feat = feat if feat is not None else make_features(
-                graph, dims[0], seed
-            )
-            output = gat_reference_forward(
-                graph, feat, model.params(seed), model.negative_slope
-            )
-        return ForwardResult(report, output)
+        return b.build(peak_mem_bytes=mem.peak)
 
     # ------------------------------------------------------------------
     # GraphSAGE-LSTM
     # ------------------------------------------------------------------
-    def run_sage_lstm(self, graph, model: SageLSTMConfig, sim: GPUConfig, *,
-                      compute=False, feat=None, seed=0) -> ForwardResult:
-        opts = self.options
-        strategy = opts.sage_strategy
+    def compile_sage_lstm(self, graph, model: SageLSTMConfig,
+                          sim: GPUConfig) -> CompiledPlan:
+        strategy = self.options.sage_strategy
+        b = self.builder("sage_lstm", graph, model, sim)
         mem = DeviceMemory(sim.device_mem_bytes)
         n = graph.num_nodes
         mem.alloc_tensor("graph", graph.num_edges + n)
@@ -286,28 +299,17 @@ class OursRuntime(Framework):
         elif strategy == SageStrategy.REDUNDANCY_BYPASS:
             mem.alloc_tensor("pretransformed", n, 4 * model.hidden)
         mem.alloc_tensor("state", n, 2 * model.hidden)
-        kernels, phases = lower_sage_lstm(
-            graph, model.f_in, model.hidden, model.num_neighbors, sim,
-            strategy, seed=model.sample_seed,
-        )
-        kernels = list(kernels)
-        mem.alloc_tensor("out", n, model.f_out)
-        kernels.append(
-            gemm_kernel(n, model.f_in + model.hidden, model.f_out, sim,
-                        name="sage.project")
-        )
-        report = simulate_kernels(
-            kernels, sim, dispatch_overhead=self.dispatch_overhead,
-            label=f"{self.name}:sage_lstm:{graph.name}",
-            peak_mem_bytes=mem.peak,
-        )
-        report.extra["sage_phases"] = phases
-        output = None
-        if compute:
-            feat = feat if feat is not None else make_features(
-                graph, model.f_in, seed
+        with b.stage("trace"):
+            pass  # the SAGE chain is fixed; sampling happens in lowering
+        with b.stage("lower"):
+            kernels, phases = lower_sage_lstm(
+                graph, model.f_in, model.hidden, model.num_neighbors, sim,
+                strategy, seed=model.sample_seed,
             )
-            output = sage_lstm_reference_forward(
-                graph, feat, model.params(seed), model, strategy=strategy
-            )
-        return ForwardResult(report, output)
+            b.add(*kernels)
+            mem.alloc_tensor("out", n, model.f_out)
+            b.add(gemm_kernel(n, model.f_in + model.hidden, model.f_out,
+                              sim, name="sage.project"))
+        return b.build(
+            peak_mem_bytes=mem.peak, extra={"sage_phases": phases}
+        )

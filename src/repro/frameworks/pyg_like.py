@@ -17,7 +17,7 @@ Per the paper's §3 analysis of PyG 1.5:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Optional
 
 import numpy as np
 
@@ -30,16 +30,16 @@ from ..core.lowering import (
     scalar_segment_reduce_kernel,
     scatter_reduce_kernel,
 )
+from ..core.plan import CompiledPlan
 from ..gpusim.config import GPUConfig
-from ..gpusim.executor import simulate_kernels
-from ..gpusim.kernel import KernelSpec
 from ..gpusim.memory import DeviceMemory
+from ..graph.csr import CSRGraph
 from ..models.gat import GATConfig
 from ..models.gcn import GCNConfig, gcn_norms
 from ..models.sage_lstm import SageLSTMConfig
 from ..ops.graphops import gather_src, segment_softmax, segment_sum
 from ..ops.nnops import leaky_relu, relu
-from .base import ForwardResult, Framework, NotSupported, make_features
+from .base import Framework, NotSupported, make_features
 
 __all__ = ["PyGLike"]
 
@@ -48,62 +48,150 @@ class PyGLike(Framework):
     name = "pyg"
 
     # ------------------------------------------------------------------
-    def run_gcn(self, graph, model: GCNConfig, sim: GPUConfig, *,
-                compute=False, feat=None, seed=0) -> ForwardResult:
+    def compile_gcn(self, graph, model: GCNConfig,
+                    sim: GPUConfig) -> CompiledPlan:
+        b = self.builder("gcn", graph, model, sim)
         mem = DeviceMemory(sim.device_mem_bytes)
         dims = model.dims
         n, e = graph.num_nodes, graph.num_edges
         mem.alloc_tensor("edge_index", 2 * e)  # COO edge list
         mem.alloc_tensor("h0", n, dims[0])
-        kernels: List[KernelSpec] = []
         for li in range(model.num_layers):
             f_in, f_out = dims[li], dims[li + 1]
             mem.alloc_tensor(f"hw{li}", n, f_out)
-            kernels.append(
-                gemm_kernel(n, f_in, f_out, sim, name=f"gcn{li}.gemm")
-            )
-            # Step 1: expansion — THE footprint (freed after the scatter).
-            mem.alloc_tensor(f"msg{li}", e, f_out)
-            kernels.append(
-                edge_expansion_kernel(
+            with b.stage("lower"):
+                b.add(gemm_kernel(n, f_in, f_out, sim,
+                                  name=f"gcn{li}.gemm"))
+                # Step 1: expansion — THE footprint (freed post-scatter).
+                mem.alloc_tensor(f"msg{li}", e, f_out)
+                b.add(edge_expansion_kernel(
                     graph, f_out, sim, name=f"gcn{li}.expand"
-                )
-            )
-            # Per-edge norm multiply over the expanded matrix.
-            kernels.append(
-                edge_chain_kernel(
+                ))
+                # Per-edge norm multiply over the expanded matrix.
+                b.add(edge_chain_kernel(
                     graph, sim, name=f"gcn{li}.edge_norm",
                     reads_per_edge=4.0 * f_out + 4.0,
                     writes_per_edge=4.0 * f_out,
                     flops_per_edge=float(f_out),
-                )
-            )
-            # Step 2: scatter reduction.
-            mem.alloc_tensor(f"h{li + 1}", n, f_out)
-            kernels.append(
-                scatter_reduce_kernel(
+                ))
+                # Step 2: scatter reduction.
+                mem.alloc_tensor(f"h{li + 1}", n, f_out)
+                b.add(scatter_reduce_kernel(
                     graph, f_out, sim, name=f"gcn{li}.scatter"
-                )
-            )
-            if li < model.num_layers - 1:
-                kernels.append(
-                    node_map_kernel(n, f_out, sim, name=f"gcn{li}.relu")
-                )
+                ))
+                if li < model.num_layers - 1:
+                    b.add(node_map_kernel(n, f_out, sim,
+                                          name=f"gcn{li}.relu"))
             mem.free(f"msg{li}")
             mem.free(f"hw{li}")
             mem.free(f"h{li}" if li else "h0")
-        report = simulate_kernels(
-            kernels, sim, dispatch_overhead=self.dispatch_overhead,
-            label=f"{self.name}:gcn:{graph.name}",
-            peak_mem_bytes=mem.peak,
+        return b.build(peak_mem_bytes=mem.peak)
+
+    # ------------------------------------------------------------------
+    def compile_gat(self, graph, model: GATConfig,
+                    sim: GPUConfig) -> CompiledPlan:
+        b = self.builder("gat", graph, model, sim)
+        mem = DeviceMemory(sim.device_mem_bytes)
+        dims = model.dims
+        n, e = graph.num_nodes, graph.num_edges
+        mem.alloc_tensor("edge_index", 2 * e)
+        mem.alloc_tensor("h0", n, dims[0])
+        for li in range(model.num_layers):
+            f_in, f_out = dims[li], dims[li + 1]
+            mem.alloc_tensor(f"hw{li}", n, f_out)
+            with b.stage("lower"):
+                b.add(
+                    gemm_kernel(n, f_in, f_out, sim,
+                                name=f"gat{li}.gemm_w"),
+                    gemm_kernel(n, f_out, 2, sim,
+                                name=f"gat{li}.gemm_att"),
+                )
+                # PyG 1.5's GATConv gathers BOTH endpoints' features to
+                # compute attention: an [E, 2F] expansion on top of the
+                # message expansion (why GAT OOMs on more datasets,
+                # Fig. 7b).
+                mem.alloc_tensor(f"att_in{li}", e, 2 * f_out)
+                b.add(edge_expansion_kernel(graph, 2 * f_out, sim,
+                                            name=f"gat{li}.att_expand"))
+                mem.alloc_tensor(f"alpha{li}", e, 4)
+                b.add(
+                    edge_chain_kernel(
+                        graph, sim, name=f"gat{li}.att_score",
+                        reads_per_edge=8.0 * f_out,
+                        writes_per_edge=4.0,
+                        flops_per_edge=4.0 * f_out,
+                    ),
+                    edge_chain_kernel(
+                        graph, sim, name=f"gat{li}.leaky_exp",
+                        reads_per_edge=4.0, writes_per_edge=4.0,
+                        flops_per_edge=6.0,
+                    ),
+                    scalar_segment_reduce_kernel(
+                        graph, sim, name=f"gat{li}.softmax_sum"
+                    ),
+                    edge_gather_kernel(
+                        graph, sim, name=f"gat{li}.softmax_div",
+                        node_values_read=1,
+                    ),
+                )
+                # Expanded source features AND scaled messages both live.
+                mem.alloc_tensor(f"x_j{li}", e, f_out)
+                b.add(edge_expansion_kernel(graph, f_out, sim,
+                                            name=f"gat{li}.expand"))
+                mem.alloc_tensor(f"msg{li}", e, f_out)
+                b.add(edge_chain_kernel(
+                    graph, sim, name=f"gat{li}.scale",
+                    reads_per_edge=4.0 * f_out + 4.0,
+                    writes_per_edge=4.0 * f_out,
+                    flops_per_edge=float(f_out),
+                ))
+                mem.alloc_tensor(f"h{li + 1}", n, f_out)
+                b.add(scatter_reduce_kernel(graph, f_out, sim,
+                                            name=f"gat{li}.scatter"))
+                if li < model.num_layers - 1:
+                    b.add(node_map_kernel(n, f_out, sim,
+                                          name=f"gat{li}.relu"))
+            for t in (f"x_j{li}", f"msg{li}", f"alpha{li}",
+                      f"att_in{li}", f"hw{li}"):
+                mem.free(t)
+            mem.free(f"h{li}" if li else "h0")
+        return b.build(peak_mem_bytes=mem.peak)
+
+    # ------------------------------------------------------------------
+    def compile_sage_lstm(self, graph, model: SageLSTMConfig,
+                          sim: GPUConfig) -> CompiledPlan:
+        raise NotSupported(
+            "PyG (1.5, as studied by the paper) does not implement the "
+            "GraphSAGE-LSTM aggregator"
         )
-        output = None
-        if compute:
+
+    # ------------------------------------------------------------------
+    # Functional reference: PyG's own gather/scatter composition (same
+    # math as DGL; kept separate so the numeric-equivalence tests compare
+    # genuinely independent implementations).
+    # ------------------------------------------------------------------
+    def reference_output(
+        self,
+        model_name: str,
+        graph: CSRGraph,
+        model,
+        *,
+        feat: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> np.ndarray:
+        if model_name == "gcn":
             feat = feat if feat is not None else make_features(
-                graph, dims[0], seed
+                graph, model.dims[0], seed
             )
-            output = self._gcn_functional(graph, feat, model, seed)
-        return ForwardResult(report, output)
+            return self._gcn_functional(graph, feat, model, seed)
+        if model_name == "gat":
+            feat = feat if feat is not None else make_features(
+                graph, model.dims[0], seed
+            )
+            return self._gat_functional(graph, feat, model, seed)
+        return super().reference_output(
+            model_name, graph, model, feat=feat, seed=seed
+        )
 
     @staticmethod
     def _gcn_functional(graph, feat, model: GCNConfig, seed) -> np.ndarray:
@@ -121,95 +209,6 @@ class PyGLike(Framework):
             if li < len(params.weights) - 1:
                 h = relu(h)
         return h.astype(np.float32)
-
-    # ------------------------------------------------------------------
-    def run_gat(self, graph, model: GATConfig, sim: GPUConfig, *,
-                compute=False, feat=None, seed=0) -> ForwardResult:
-        mem = DeviceMemory(sim.device_mem_bytes)
-        dims = model.dims
-        n, e = graph.num_nodes, graph.num_edges
-        mem.alloc_tensor("edge_index", 2 * e)
-        mem.alloc_tensor("h0", n, dims[0])
-        kernels: List[KernelSpec] = []
-        for li in range(model.num_layers):
-            f_in, f_out = dims[li], dims[li + 1]
-            mem.alloc_tensor(f"hw{li}", n, f_out)
-            kernels.append(
-                gemm_kernel(n, f_in, f_out, sim, name=f"gat{li}.gemm_w")
-            )
-            kernels.append(
-                gemm_kernel(n, f_out, 2, sim, name=f"gat{li}.gemm_att")
-            )
-            # PyG 1.5's GATConv gathers BOTH endpoints' features to
-            # compute attention: an [E, 2F] expansion on top of the
-            # message expansion (why GAT OOMs on more datasets, Fig. 7b).
-            mem.alloc_tensor(f"att_in{li}", e, 2 * f_out)
-            kernels.append(
-                edge_expansion_kernel(graph, 2 * f_out, sim,
-                                      name=f"gat{li}.att_expand")
-            )
-            mem.alloc_tensor(f"alpha{li}", e, 4)
-            kernels.append(
-                edge_chain_kernel(
-                    graph, sim, name=f"gat{li}.att_score",
-                    reads_per_edge=8.0 * f_out,
-                    writes_per_edge=4.0,
-                    flops_per_edge=4.0 * f_out,
-                )
-            )
-            kernels.append(
-                edge_chain_kernel(graph, sim, name=f"gat{li}.leaky_exp",
-                                  reads_per_edge=4.0, writes_per_edge=4.0,
-                                  flops_per_edge=6.0)
-            )
-            kernels.append(
-                scalar_segment_reduce_kernel(graph, sim,
-                                             name=f"gat{li}.softmax_sum")
-            )
-            kernels.append(
-                edge_gather_kernel(graph, sim, name=f"gat{li}.softmax_div",
-                                   node_values_read=1)
-            )
-            # Expanded source features AND scaled messages both live.
-            mem.alloc_tensor(f"x_j{li}", e, f_out)
-            kernels.append(
-                edge_expansion_kernel(graph, f_out, sim,
-                                      name=f"gat{li}.expand")
-            )
-            mem.alloc_tensor(f"msg{li}", e, f_out)
-            kernels.append(
-                edge_chain_kernel(
-                    graph, sim, name=f"gat{li}.scale",
-                    reads_per_edge=4.0 * f_out + 4.0,
-                    writes_per_edge=4.0 * f_out,
-                    flops_per_edge=float(f_out),
-                )
-            )
-            mem.alloc_tensor(f"h{li + 1}", n, f_out)
-            kernels.append(
-                scatter_reduce_kernel(graph, f_out, sim,
-                                      name=f"gat{li}.scatter")
-            )
-            if li < model.num_layers - 1:
-                kernels.append(
-                    node_map_kernel(n, f_out, sim, name=f"gat{li}.relu")
-                )
-            for t in (f"x_j{li}", f"msg{li}", f"alpha{li}",
-                      f"att_in{li}", f"hw{li}"):
-                mem.free(t)
-            mem.free(f"h{li}" if li else "h0")
-        report = simulate_kernels(
-            kernels, sim, dispatch_overhead=self.dispatch_overhead,
-            label=f"{self.name}:gat:{graph.name}",
-            peak_mem_bytes=mem.peak,
-        )
-        output = None
-        if compute:
-            feat = feat if feat is not None else make_features(
-                graph, dims[0], seed
-            )
-            output = self._gat_functional(graph, feat, model, seed)
-        return ForwardResult(report, output)
 
     @staticmethod
     def _gat_functional(graph, feat, model: GATConfig, seed) -> np.ndarray:
@@ -231,11 +230,3 @@ class PyGLike(Framework):
             if li < last:
                 h = relu(h)
         return h.astype(np.float32)
-
-    # ------------------------------------------------------------------
-    def run_sage_lstm(self, graph, model: SageLSTMConfig, sim, *,
-                      compute=False, feat=None, seed=0) -> ForwardResult:
-        raise NotSupported(
-            "PyG (1.5, as studied by the paper) does not implement the "
-            "GraphSAGE-LSTM aggregator"
-        )

@@ -18,20 +18,18 @@ paper's Fig. 7a measurements, is:
 
 from __future__ import annotations
 
-from typing import List
-
 from ..core.lowering import (
     ExecLayout,
     aggregation_kernel,
     gemm_kernel,
     node_map_kernel,
 )
+from ..core.plan import CompiledPlan
 from ..gpusim.config import GPUConfig
-from ..gpusim.executor import simulate_kernels
 from ..gpusim.kernel import KernelSpec
 from ..gpusim.memory import DeviceMemory
-from ..models.gcn import GCNConfig, gcn_reference_forward
-from .base import ForwardResult, Framework, NotSupported, make_features
+from ..models.gcn import GCNConfig
+from .base import Framework, NotSupported
 
 __all__ = ["ROCLike"]
 
@@ -45,8 +43,9 @@ _HALO_EDGE_FRACTION = 0.7
 class ROCLike(Framework):
     name = "roc"
 
-    def run_gcn(self, graph, model: GCNConfig, sim: GPUConfig, *,
-                compute=False, feat=None, seed=0) -> ForwardResult:
+    def compile_gcn(self, graph, model: GCNConfig,
+                    sim: GPUConfig) -> CompiledPlan:
+        b = self.builder("gcn", graph, model, sim)
         mem = DeviceMemory(sim.device_mem_bytes)
         dims = model.dims
         n, e = graph.num_nodes, graph.num_edges
@@ -58,67 +57,48 @@ class ROCLike(Framework):
         mem.alloc_tensor("replicas", _NODE_REPLICATION * n, dims[0])
         halo_rows = int(_HALO_EDGE_FRACTION * e)
         mem.alloc_tensor("halo", halo_rows, dims[1])
-        kernels: List[KernelSpec] = []
-        layout = ExecLayout.default(graph)
+        with b.stage("group"):
+            layout = ExecLayout.default(graph)
         for li in range(model.num_layers):
             f_in, f_out = dims[li], dims[li + 1]
-            # Partition/halo transfer pass for this layer.
-            kernels.append(
-                KernelSpec.uniform_dense(
-                    f"roc{li}.partition_xfer",
-                    flops=0.0,
-                    bytes_moved=2.0 * n * f_in * 4 + e * 8.0,
-                    num_blocks=max(1, (n * f_in) // 4096),
-                    tag="edge",
-                )
-            )
             mem.alloc_tensor(f"hw{li}", n, f_out)
-            kernels.append(
-                gemm_kernel(n, f_in, f_out, sim, name=f"roc{li}.gemm")
-            )
-            kernels.append(
-                node_map_kernel(n, f_out, sim, name=f"roc{li}.norm_src")
-            )
             mem.alloc_tensor(f"h{li + 1}", n, f_out)
-            # ROC's own aggregation kernel: node-parallel, no cuSPARSE,
-            # per-edge weights materialized.
-            kernels.append(
-                aggregation_kernel(
-                    graph, f_out, sim, layout,
-                    name=f"roc{li}.aggregate",
-                    edge_stream_bytes_per_edge=4.0,
-                    compute_scale=4.0,  # own kernel, no cuSPARSE tuning
-                    tag="graph",
+            with b.stage("lower"):
+                # Partition/halo transfer pass for this layer.
+                b.add(
+                    KernelSpec.uniform_dense(
+                        f"roc{li}.partition_xfer",
+                        flops=0.0,
+                        bytes_moved=2.0 * n * f_in * 4 + e * 8.0,
+                        num_blocks=max(1, (n * f_in) // 4096),
+                        tag="edge",
+                    ),
+                    gemm_kernel(n, f_in, f_out, sim, name=f"roc{li}.gemm"),
+                    node_map_kernel(n, f_out, sim,
+                                    name=f"roc{li}.norm_src"),
+                    # ROC's own aggregation kernel: node-parallel, no
+                    # cuSPARSE, per-edge weights materialized.
+                    aggregation_kernel(
+                        graph, f_out, sim, layout,
+                        name=f"roc{li}.aggregate",
+                        edge_stream_bytes_per_edge=4.0,
+                        compute_scale=4.0,  # own kernel, no cuSPARSE
+                        tag="graph",
+                    ),
+                    node_map_kernel(n, f_out, sim,
+                                    name=f"roc{li}.norm_dst"),
                 )
-            )
-            kernels.append(
-                node_map_kernel(n, f_out, sim, name=f"roc{li}.norm_dst")
-            )
-            if li < model.num_layers - 1:
-                kernels.append(
-                    node_map_kernel(n, f_out, sim, name=f"roc{li}.relu")
-                )
+                if li < model.num_layers - 1:
+                    b.add(node_map_kernel(n, f_out, sim,
+                                          name=f"roc{li}.relu"))
             mem.free(f"hw{li}")
             mem.free(f"h{li}" if li else "h0")
-        report = simulate_kernels(
-            kernels, sim, dispatch_overhead=self.dispatch_overhead,
-            label=f"{self.name}:gcn:{graph.name}",
-            peak_mem_bytes=mem.peak,
-        )
-        output = None
-        if compute:
-            feat = feat if feat is not None else make_features(
-                graph, dims[0], seed
-            )
-            output = gcn_reference_forward(graph, feat, model.params(seed))
-        return ForwardResult(report, output)
+        return b.build(peak_mem_bytes=mem.peak)
 
-    def run_gat(self, graph, model, sim, *, compute=False, feat=None,
-                seed=0) -> ForwardResult:
+    def compile_gat(self, graph, model, sim) -> CompiledPlan:
         raise NotSupported("ROC does not implement GAT (Fig. 7b '×')")
 
-    def run_sage_lstm(self, graph, model, sim, *, compute=False, feat=None,
-                      seed=0) -> ForwardResult:
+    def compile_sage_lstm(self, graph, model, sim) -> CompiledPlan:
         raise NotSupported(
             "ROC does not implement GraphSAGE-LSTM (Fig. 7c '×')"
         )

@@ -48,12 +48,20 @@ from .cache import (
 )
 from .config import GPUConfig
 from .kernel import KernelSpec
-from .memo import KERNEL_MEMO, STREAM_CACHE, StreamPlan, array_digest, memo_stats
+from .memo import (
+    KERNEL_MEMO,
+    PLAN_MEMO,
+    STREAM_CACHE,
+    StreamPlan,
+    array_digest,
+    memo_stats,
+)
 from .metrics import KernelStats, RunReport, occupancy_below
 
 __all__ = [
     "simulate_kernel",
     "simulate_kernels",
+    "simulate_plan",
     "block_durations",
     "interleaved_order",
 ]
@@ -439,4 +447,53 @@ def simulate_kernels(
         "stream_cache_misses": counts.get("stream_cache_miss", 0),
         "memo": memo_stats(),
     }
+    return report
+
+
+def simulate_plan(plan, config: GPUConfig | None = None) -> RunReport:
+    """Execute a :class:`~repro.core.plan.CompiledPlan`.
+
+    The plan is content-addressed, so its whole simulated outcome is
+    memoized under ``(plan_id, config, dispatch_overhead)`` — a repeat
+    execution of the same plan rebuilds the :class:`RunReport` from the
+    cached :class:`KernelStats` sequence without touching the cache
+    model or the scheduler at all.  ``config`` defaults to the
+    configuration the plan was compiled for.
+    """
+    cfg = config if config is not None else plan.gpu_config
+    if not memo_enabled():
+        return simulate_kernels(
+            plan.kernels, cfg, label=plan.label,
+            peak_mem_bytes=plan.peak_mem_bytes,
+            dispatch_overhead=plan.dispatch_overhead,
+        )
+    key = (plan.plan_id, dataclasses.astuple(cfg), plan.dispatch_overhead)
+    cached = PLAN_MEMO.get(key)
+    if cached is not None:
+        report = RunReport(
+            label=plan.label, peak_mem_bytes=plan.peak_mem_bytes
+        )
+        for stats in cached:
+            report.add(dataclasses.replace(
+                stats, occupancy=dict(stats.occupancy)
+            ))
+        report.extra["perf"] = {
+            "cache_model_seconds": 0.0,
+            "schedule_seconds": 0.0,
+            "kernel_memo_hits": 0,
+            "kernel_memo_misses": 0,
+            "kernel_memo_hit_rate": 0.0,
+            "stream_cache_hits": 0,
+            "stream_cache_misses": 0,
+            "plan_memo_hit": True,
+            "memo": memo_stats(),
+        }
+        return report
+    report = simulate_kernels(
+        plan.kernels, cfg, label=plan.label,
+        peak_mem_bytes=plan.peak_mem_bytes,
+        dispatch_overhead=plan.dispatch_overhead,
+    )
+    report.extra["perf"]["plan_memo_hit"] = False
+    PLAN_MEMO.put(key, tuple(report.kernels))
     return report

@@ -48,6 +48,7 @@ __all__ = [
     "KernelMemo",
     "STREAM_CACHE",
     "KERNEL_MEMO",
+    "PLAN_MEMO",
     "clear_caches",
     "memo_stats",
 ]
@@ -275,6 +276,14 @@ class KernelMemo:
 
 
 KERNEL_MEMO = KernelMemo()
+
+
+#: Plan-level memo: ``(plan_id, config, dispatch) -> tuple[KernelStats]``.
+#: A :class:`~repro.core.plan.CompiledPlan` is content-addressed, so its
+#: whole simulated kernel-stats sequence is reusable as one unit — the
+#: run-many half of compile-once/run-many skips even the per-kernel memo
+#: lookups.
+PLAN_MEMO = LRUCache(max_entries=512, name="plan_memo")
 
 
 # ----------------------------------------------------------------------
