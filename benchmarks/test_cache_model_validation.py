@@ -47,7 +47,7 @@ def test_window_model_tracks_exact_lru(benchmark, out):
     # (dataset, capacity) pair and preserves capacity monotonicity.
     assert max_err < 0.12
     by_ds = {}
-    for name, cap, exact, approx, _ in rows:
+    for name, cap, _exact, approx, _ in rows:
         by_ds.setdefault(name, []).append((cap, approx))
     for name, series in by_ds.items():
         series.sort()

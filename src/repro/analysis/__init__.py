@@ -1,8 +1,8 @@
 """Static analysis over the IR -> fusion -> lowering pipeline.
 
-Four passes verify, without running the simulator, every
-:class:`~repro.core.compgraph.FusionPlan` and lowered kernel list the
-pipeline produces:
+Seven registered passes verify, without running the simulator, every
+:class:`~repro.core.compgraph.FusionPlan`, lowered kernel list and
+:class:`~repro.core.plan.CompiledPlan` artifact the pipeline produces:
 
 1. **fusion legality** (:mod:`.legality`) — re-derives each op's
    required/provided data visible range from the op-kind effects table
@@ -18,11 +18,32 @@ pipeline produces:
    without atomics (and phantom atomics on block-private centers);
 4. **conservation audit** (:mod:`.conservation`) — re-resolves the
    chain's element counts and pins each kernel's flops/bytes to the
-   documented cost conventions.
+   documented cost conventions;
+5. **happens-before sync safety** (:mod:`.hb`) — proves, from the
+   per-kernel dataflow metadata, that every read of a reduced or
+   postponed buffer is ordered after all of its writers under the
+   sequential launch-order scheduling model, and flags provably
+   removable synchronizations;
+6. **symbolic footprint** (:mod:`.footprint`) — abstract-interprets a
+   plan's buffers into closed forms over N/E/F and cross-checks the
+   evaluated lower bound against an artifact's recorded peak memory;
+7. **opportunity analysis** (:mod:`.footprint`) — advisory findings for
+   O(E) materializations with O(N) equivalents (Table 5) and adjacent
+   kernels admitting a legal fusion the planner skipped (Listing 1).
 
-Entry points: ``python -m repro lint`` (CI sweep), and the opt-in
-``OursOptions(verify_plans=True)`` /  ``REPRO_VERIFY_PLANS=1`` hook
-that verifies every plan the runtime lowers.
+Passes are not a hard-coded taxonomy: each module registers a
+:class:`~repro.analysis.registry.LintPass` at import time (importing
+this package, or :mod:`.driver`, populates the registry) and the lint
+drivers iterate :func:`~repro.analysis.registry.lint_passes` — a new
+pass self-registers into ``lint_chain``/``lint_shipped``/``lint_plan``
+without driver edits.  Every finding carries a stable code (``HB001``,
+``FP002``, ...); ``repro lint --explain CODE`` documents each.
+
+Entry points: ``python -m repro lint`` (CI sweep, with ``--fail-on``,
+``--baseline`` and ``--sarif``), ``python -m repro plan lint`` for
+saved artifacts, and the opt-in ``OursOptions(verify_plans=True)`` /
+``REPRO_VERIFY_PLANS=1`` hook that verifies every plan the runtime
+lowers.
 """
 
 from .atomics import check_atomic_races
@@ -36,34 +57,64 @@ from .driver import (
     verify_lowering,
 )
 from .findings import (
+    CODES,
     ERROR,
     INFO,
     WARNING,
     AnalysisReport,
     Finding,
+    FindingCode,
     PlanVerificationError,
+    explain_code,
+    load_baseline,
+    make_finding,
+    register_code,
 )
+from .footprint import (
+    SymExpr,
+    check_footprint,
+    check_opportunities,
+    layer_footprint,
+)
+from .hb import check_happens_before
 from .legality import chain_dataflow, check_fusion_legality
 from .linearity import check_linear_flags, probe_commutes_with_sum
+from .registry import LintContext, LintPass, lint_passes, pass_names, register_pass
 
 __all__ = [
     "AnalysisReport",
+    "CODES",
     "Finding",
+    "FindingCode",
+    "LintContext",
+    "LintPass",
     "PlanVerificationError",
     "ERROR",
     "WARNING",
     "INFO",
     "FUSION_CONFIGS",
     "MODEL_CHAINS",
+    "SymExpr",
     "chain_dataflow",
-    "lint_plan",
     "check_atomic_races",
     "check_conservation",
+    "check_footprint",
     "check_fusion_legality",
+    "check_happens_before",
     "check_linear_flags",
+    "check_opportunities",
     "expected_group_cost",
+    "explain_code",
+    "layer_footprint",
     "lint_chain",
+    "lint_passes",
+    "lint_plan",
     "lint_shipped",
+    "load_baseline",
+    "make_finding",
+    "pass_names",
     "probe_commutes_with_sum",
+    "register_code",
+    "register_pass",
     "verify_lowering",
 ]

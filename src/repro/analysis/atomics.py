@@ -32,11 +32,47 @@ import numpy as np
 from ..core.compgraph import FusionPlan, OpKind
 from ..core.lowering import ExecLayout
 from ..gpusim.kernel import KernelSpec
-from .findings import ERROR, Finding
+from .findings import ERROR, Finding, make_finding, register_code
+from .registry import LintPass, register_pass
 
 __all__ = ["check_atomic_races"]
 
 PASS = "atomics"
+
+AT001 = register_code(
+    "AT001", PASS, ERROR,
+    "write-write race: shared center without atomics",
+    """Two or more blocks own the same center (block_center) but the
+kernel charges no atomics on them — a cross-SM write-write race under
+neighbor grouping.  The merged output row would be corrupted.""",
+)
+AT002 = register_code(
+    "AT002", PASS, ERROR,
+    "phantom atomics on block-private centers",
+    """Atomics are charged on blocks whose center no other block owns:
+the cost model would price contention no real kernel pays.""",
+)
+AT003 = register_code(
+    "AT003", PASS, ERROR,
+    "fusion groups and lowered kernels cannot be paired",
+    """The plan's group count differs from the lowered kernel count, so
+the per-group structural checks cannot run — a group was dropped or
+split by lowering.""",
+)
+AT004 = register_code(
+    "AT004", PASS, ERROR,
+    "edge-parallel reduction without atomic partial sums",
+    """A kernel fuses a segment reduction/aggregation yet chunks blocks
+over edges with no atomics charge: blocks write centers they do not
+own, so partial sums would be lost.""",
+)
+AT005 = register_code(
+    "AT005", PASS, ERROR,
+    "block->center ownership disagrees with the grouping plan",
+    """The lowered kernel's block_center multiset differs from the
+grouping plan it was supposedly lowered from — the kernel executes a
+different task layout than the plan records.""",
+)
 
 
 def _check_center_parallel(
@@ -49,8 +85,8 @@ def _check_center_parallel(
     racy = shared & (kernel.atomics == 0)
     if racy.any():
         example = int(centers[np.argmax(racy)])
-        findings.append(Finding(
-            PASS, ERROR, where,
+        findings.append(make_finding(
+            AT001, where,
             f"{int(racy.sum())} block(s) write centers owned by "
             f"multiple blocks without an atomics charge (e.g. center "
             f"{example}) — a cross-SM write-write race",
@@ -58,8 +94,8 @@ def _check_center_parallel(
     phantom = (~shared) & (kernel.atomics > 0)
     if phantom.any():
         example = int(centers[np.argmax(phantom)])
-        findings.append(Finding(
-            PASS, ERROR, where,
+        findings.append(make_finding(
+            AT002, where,
             f"{int(phantom.sum())} block(s) charge atomics on "
             f"block-private centers (e.g. center {example}) — phantom "
             f"contention in the cost model",
@@ -74,8 +110,8 @@ def check_atomic_races(
     """Cross-check a lowered kernel list against its plan and layout."""
     findings: List[Finding] = []
     if len(kernels) != len(plan.groups):
-        findings.append(Finding(
-            PASS, ERROR, "plan",
+        findings.append(make_finding(
+            AT003, "plan",
             f"plan has {len(plan.groups)} fusion groups but lowering "
             f"produced {len(kernels)} kernels — cannot pair them",
         ))
@@ -96,8 +132,8 @@ def check_atomic_races(
                 want = np.sort(layout.grouping.group_center)
                 got = np.sort(kernel.block_center)
                 if not np.array_equal(want, got):
-                    findings.append(Finding(
-                        PASS, ERROR, where,
+                    findings.append(make_finding(
+                        AT005, where,
                         "block->center ownership disagrees with the "
                         "grouping plan the kernel was lowered from",
                     ))
@@ -106,11 +142,20 @@ def check_atomic_races(
             # over edges with no regard for segment boundaries, so
             # partial sums *must* merge through atomics.
             if int(kernel.atomics.sum()) == 0:
-                findings.append(Finding(
-                    PASS, ERROR, where,
+                findings.append(make_finding(
+                    AT004, where,
                     "fuses a segment reduction/aggregation into an "
                     "edge-parallel kernel without any atomic "
                     "partial-sum charge — blocks write centers they do "
                     "not own",
                 ))
     return findings
+
+
+register_pass(LintPass(
+    name=PASS,
+    doc="atomic-race detection via block_center ownership",
+    lowering=lambda ctx: check_atomic_races(
+        ctx.plan, ctx.kernels, ctx.layout
+    ),
+))

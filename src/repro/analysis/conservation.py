@@ -31,11 +31,45 @@ from ..core.lowering import ExecLayout, compute_waste, effective_row_bytes
 from ..gpusim.config import GPUConfig
 from ..gpusim.kernel import KernelSpec
 from ..graph.csr import CSRGraph
-from .findings import ERROR, Finding
+from .findings import ERROR, Finding, make_finding, register_code
+from .registry import LintPass, register_pass
 
 __all__ = ["expected_group_cost", "check_conservation"]
 
 PASS = "conservation"
+
+CV001 = register_code(
+    "CV001", PASS, ERROR,
+    "fusion groups and lowered kernels cannot be paired",
+    """The plan's group count differs from the lowered kernel count, so
+the per-kernel cost audit cannot run.""",
+)
+CV002 = register_code(
+    "CV002", PASS, ERROR,
+    "lowered FLOPs drifted from the element-count re-resolution",
+    """A kernel's total FLOPs disagree with the independent resolution
+from element counts and the DESIGN §5 cost conventions — lowering
+double-charges or drops work.""",
+)
+CV003 = register_code(
+    "CV003", PASS, ERROR,
+    "lowered bytes drifted from the element-count re-resolution",
+    """A kernel's total traffic disagrees with the independent
+resolution from element counts and the DESIGN §5 cost conventions.""",
+)
+CV004 = register_code(
+    "CV004", PASS, ERROR,
+    "whole-plan FLOPs outside the fusion envelope",
+    """Total lowered FLOPs fall outside the documented band around the
+unfused element-count resolution: fusion must remove traffic and
+launches, not math.""",
+)
+CV005 = register_code(
+    "CV005", PASS, ERROR,
+    "fused plan moves more bytes than the unfused resolution",
+    """Fusion may only remove traffic; a fused plan that streams more
+bytes than its unfused equivalent charges something twice.""",
+)
 
 #: Relative tolerance on the per-kernel exact re-resolution (float
 #: accumulation noise only — the formulas are meant to agree exactly).
@@ -156,14 +190,14 @@ def check_conservation(
     """Audit a lowered plan's totals against the independent resolution."""
     findings: List[Finding] = []
     if len(kernels) != len(plan.groups):
-        findings.append(Finding(
-            PASS, ERROR, "plan",
+        findings.append(make_finding(
+            CV001, "plan",
             f"{len(plan.groups)} fusion groups lowered to "
             f"{len(kernels)} kernels — a group was dropped or split",
         ))
         return findings
-    kw = dict(agg_compute_scale=agg_compute_scale,
-              agg_uncoalesced=agg_uncoalesced)
+    kw = {"agg_compute_scale": agg_compute_scale,
+          "agg_uncoalesced": agg_uncoalesced}
     total_lowered_flops = 0.0
     for gi, (group, kernel) in enumerate(zip(plan.groups, kernels)):
         want_flops, want_bytes = expected_group_cost(
@@ -173,15 +207,15 @@ def check_conservation(
         got_bytes = kernel.total_bytes
         total_lowered_flops += got_flops
         if not math.isclose(got_flops, want_flops, rel_tol=_RTOL):
-            findings.append(Finding(
-                PASS, ERROR, f"group {gi}: {kernel.name}",
+            findings.append(make_finding(
+                CV002, f"group {gi}: {kernel.name}",
                 f"lowered FLOPs {got_flops:.6g} != re-resolved "
                 f"{want_flops:.6g} from element counts — lowering "
                 f"drifted from the documented cost conventions",
             ))
         if not math.isclose(got_bytes, want_bytes, rel_tol=_RTOL):
-            findings.append(Finding(
-                PASS, ERROR, f"group {gi}: {kernel.name}",
+            findings.append(make_finding(
+                CV003, f"group {gi}: {kernel.name}",
                 f"lowered bytes {got_bytes:.6g} != re-resolved "
                 f"{want_bytes:.6g} from element counts — lowering "
                 f"drifted from the documented cost conventions",
@@ -200,8 +234,8 @@ def check_conservation(
         ratio = total_lowered_flops / unfused_work
         lo, hi = _FLOP_BAND
         if not (lo <= ratio <= hi):
-            findings.append(Finding(
-                PASS, ERROR, "plan",
+            findings.append(make_finding(
+                CV004, "plan",
                 f"total lowered FLOPs are {ratio:.2f}x the unfused "
                 f"element-count resolution (allowed {lo}-{hi}x) — "
                 f"fusion must remove traffic and launches, not math",
@@ -212,10 +246,22 @@ def check_conservation(
     )
     fused_bytes = sum(k.total_bytes for k in kernels)
     if fused_bytes > unfused_bytes * 1.01:
-        findings.append(Finding(
-            PASS, ERROR, "plan",
+        findings.append(make_finding(
+            CV005, "plan",
             f"fused plan moves {fused_bytes:.6g} bytes, more than the "
             f"unfused resolution's {unfused_bytes:.6g} — fusion may "
             f"only remove traffic",
         ))
     return findings
+
+
+register_pass(LintPass(
+    name=PASS,
+    doc="flops/bytes conservation audit vs the cost conventions",
+    lowering=lambda ctx: check_conservation(
+        ctx.ops, ctx.plan, ctx.kernels, ctx.graph, ctx.feat_len,
+        ctx.config, ctx.layout,
+        agg_compute_scale=ctx.agg_compute_scale,
+        agg_uncoalesced=ctx.agg_uncoalesced,
+    ),
+))

@@ -1,6 +1,6 @@
-"""Verification driver: run all four passes over a lowered pipeline,
-and sweep every shipped model x dataset x config combination (the
-``python -m repro lint`` entry point).
+"""Verification driver: run every registered pass over a lowered
+pipeline, and sweep every shipped model x dataset x config combination
+(the ``python -m repro lint`` entry point).
 
 The sweep never runs the simulator — all passes are static, so linting
 the full grid costs seconds while covering every plan the benchmarks
@@ -9,10 +9,17 @@ config (unfused / adapter / adapter+linear), both task layouts
 (identity and neighbor-grouped, which exercises the SEG_REDUCE GLOBAL
 promotion and the atomics paths), and feature lengths on both sides of
 the warp-lane boundary.
+
+Which passes run is not decided here: each pass module registers a
+:class:`~repro.analysis.registry.LintPass` at import time and the
+driver iterates :func:`~repro.analysis.registry.lint_passes`, running
+whichever scope hooks (``chain`` / ``lowering`` / ``artifact``) a pass
+provides.  Adding a pass is one new module — no driver edits.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, List, Optional, Sequence
 
 from ..core.adapter import plan_fusion
@@ -23,11 +30,17 @@ from ..gpusim.config import GPUConfig, V100_SCALED
 from ..gpusim.kernel import KernelSpec
 from ..graph.csr import CSRGraph
 from ..graph.datasets import DATASET_NAMES, load_dataset
-from .atomics import check_atomic_races
-from .conservation import check_conservation
-from .findings import ERROR, AnalysisReport, Finding
-from .legality import check_fusion_legality
-from .linearity import check_linear_flags
+from .findings import ERROR, AnalysisReport, make_finding, register_code
+from .registry import LintContext, lint_passes
+
+# Importing the pass modules is what populates the registry (and the
+# finding-code table); the driver itself never names them again.
+from . import atomics      # noqa: F401  (registers "atomics")
+from . import conservation  # noqa: F401  (registers "conservation")
+from . import footprint    # noqa: F401  (registers "footprint", "opportunity")
+from . import hb           # noqa: F401  (registers "hb")
+from . import legality     # noqa: F401  (registers "legality")
+from . import linearity    # noqa: F401  (registers "linearity")
 
 __all__ = [
     "verify_lowering",
@@ -57,6 +70,34 @@ DEFAULT_FEATS = (32, 48)
 #: Grouping bound for the grouped layout sweep (the untuned default).
 LINT_NG_BOUND = 32
 
+# Artifact-plumbing findings emitted by lint_plan itself, before any
+# pass can run (the plan cannot even be paired with its graph).
+PL001 = register_code(
+    "PL001", "plan", ERROR,
+    "plan references a graph that is not a shipped dataset",
+    """The artifact's ``graph_name`` does not resolve against the
+shipped datasets, so no pass can be run against the structure the plan
+was compiled for.  Re-lint with the graph passed explicitly.""",
+)
+PL002 = register_code(
+    "PL002", "plan", ERROR,
+    "graph fingerprint mismatch: stale artifact",
+    """The structural fingerprint of the resolved graph disagrees with
+the one recorded in the plan: the artifact was compiled against a
+different graph (or the dataset changed).  Every per-layer layout
+array and kernel estimate in it is untrustworthy — recompile.""",
+)
+
+
+def _prefixed(findings: Iterable, label: str) -> List:
+    """Re-scope findings into a sweep: prefix ``where`` with the
+    pipeline label, preserving code/severity (``dataclasses.replace``,
+    not positional reconstruction)."""
+    return [
+        dataclasses.replace(f, where=f"{label}: {f.where}")
+        for f in findings
+    ]
+
 
 def verify_lowering(
     ops: List[Op],
@@ -73,17 +114,23 @@ def verify_lowering(
     agg_compute_scale: float = 1.0,
     agg_uncoalesced: float = 1.0,
 ) -> AnalysisReport:
-    """Run all four static passes over one lowered pipeline."""
-    report = AnalysisReport(label=label, checked=1)
-    report.extend(check_fusion_legality(ops, plan, grouped=grouped))
-    if check_linearity:
-        report.extend(check_linear_flags(ops))
-    report.extend(check_atomic_races(plan, kernels, layout))
-    report.extend(check_conservation(
-        ops, plan, kernels, graph, feat_len, config, layout,
+    """Run every registered static pass over one lowered pipeline.
+
+    ``check_linearity=False`` skips the chain-scope passes (callers
+    sweeping many lowerings of one chain verify it once instead).
+    """
+    ctx = LintContext(
+        ops=ops, plan=plan, kernels=kernels, graph=graph,
+        feat_len=feat_len, config=config, layout=layout, grouped=grouped,
         agg_compute_scale=agg_compute_scale,
         agg_uncoalesced=agg_uncoalesced,
-    ))
+    )
+    report = AnalysisReport(label=label, checked=1)
+    for p in lint_passes():
+        if p.chain is not None and check_linearity:
+            report.extend(p.chain(list(ops)))
+        if p.lowering is not None:
+            report.extend(p.lowering(ctx))
     return report
 
 
@@ -139,14 +186,14 @@ def lint_chain(
                     label=f"{report.label}:{cname}:{lname}:F{feat}",
                     check_linearity=False,
                 )
-                for f in sub.findings:
-                    report.findings.append(f.__class__(
-                        f.pass_name, f.severity,
-                        f"{sub.label}: {f.where}", f.message,
-                    ))
+                report.findings.extend(
+                    _prefixed(sub.findings, sub.label)
+                )
                 report.checked += sub.checked
     if check_linearity:
-        report.extend(check_linear_flags(ops))
+        for p in lint_passes():
+            if p.chain is not None:
+                report.extend(p.chain(list(ops)))
     return report
 
 
@@ -162,10 +209,13 @@ def lint_shipped(
     names = list(dataset_names or DATASET_NAMES)
     model_list = list(models or MODEL_CHAINS)
     report = AnalysisReport(label="lint")
-    # Chains are dataset-independent: verify the linear flags once per
-    # model instead of once per pipeline.
+    # Chains are dataset-independent: verify the chain-scope passes once
+    # per model instead of once per pipeline.
     for model in model_list:
-        report.extend(check_linear_flags(MODEL_CHAINS[model]()))
+        ops = MODEL_CHAINS[model]()
+        for p in lint_passes():
+            if p.chain is not None:
+                report.extend(p.chain(list(ops)))
     for name in names:
         graph = load_dataset(name)
         for model in model_list:
@@ -185,9 +235,11 @@ def lint_plan(
 
     This is the offline path: a saved plan carries per-layer
     :class:`~repro.core.plan.LayerRecord` entries (fusion plan, layout
-    arrays, kernel slice), so the four passes re-verify the artifact
-    without the live pipeline that produced it.  Layers lowered outside
-    the shared ``lower_plan`` path carry ``chain=None`` and are skipped.
+    arrays, kernel slice), so the lowering-scope passes re-verify the
+    artifact without the live pipeline that produced it, and the
+    artifact-scope passes (whole-stream happens-before, footprint
+    cross-check) see the complete plan.  Layers lowered outside the
+    shared ``lower_plan`` path carry ``chain=None`` and are skipped.
 
     ``graph`` defaults to loading ``plan.graph_name`` from the shipped
     datasets; a graph whose structural fingerprint disagrees with the
@@ -197,16 +249,16 @@ def lint_plan(
     report = AnalysisReport(label=f"plan:{label}", checked=0)
     if graph is None:
         if plan.graph_name not in DATASET_NAMES:
-            report.findings.append(Finding(
-                "plan", ERROR, plan.plan_id,
+            report.findings.append(make_finding(
+                PL001, plan.plan_id,
                 f"graph {plan.graph_name!r} is not a shipped dataset; "
                 "pass the graph explicitly",
             ))
             return report
         graph = load_dataset(plan.graph_name)
     if graph.fingerprint != plan.graph_fingerprint:
-        report.findings.append(Finding(
-            "plan", ERROR, plan.plan_id,
+        report.findings.append(make_finding(
+            PL002, plan.plan_id,
             f"graph fingerprint {graph.fingerprint} != plan's "
             f"{plan.graph_fingerprint}: stale artifact",
         ))
@@ -225,10 +277,11 @@ def lint_plan(
             agg_compute_scale=rec.agg_compute_scale,
             agg_uncoalesced=rec.agg_uncoalesced,
         )
-        for f in sub.findings:
-            report.findings.append(Finding(
-                f.pass_name, f.severity,
-                f"{sub.label}: {f.where}", f.message,
-            ))
+        report.findings.extend(_prefixed(sub.findings, sub.label))
         report.checked += sub.checked
+    for p in lint_passes():
+        if p.artifact is not None:
+            report.findings.extend(_prefixed(
+                p.artifact(plan, graph, config), report.label
+            ))
     return report

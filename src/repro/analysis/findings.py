@@ -4,25 +4,44 @@ A *finding* is one violation (or observation) a pass produced about a
 fusion plan or a lowered kernel list.  Severities:
 
 * ``error`` — the plan/lowering is wrong: executing it would corrupt
-  results (illegal fusion, missing atomics) or mis-account cost
-  (conservation drift, phantom atomics).  ``repro lint`` exits non-zero.
+  results (illegal fusion, missing atomics, stale reads) or mis-account
+  cost (conservation drift, phantom atomics).  ``repro lint`` exits
+  non-zero.
 * ``warning`` — the pass could not prove the property (e.g. an op whose
   name has no numeric semantics registered) or found a suspicious but
-  not provably wrong structure.
-* ``info`` — advisory (e.g. an op that *is* linear but is not flagged,
-  leaving a postponement opportunity on the table).
+  not provably wrong structure.  Exits zero unless ``--fail-on warning``.
+* ``info`` — advisory (e.g. a missed fusion or postponement
+  opportunity).  Never gates.
+
+Every finding carries a **stable code** (``HB001``, ``FP002``, ...)
+registered by its pass via :func:`register_code` together with a short
+summary and a long explanation; ``repro lint --explain CODE`` prints
+the latter, and the SARIF export publishes the registry as tool rules.
+Codes are append-only: a retired check's code is never reused.
+
+Baselines: a checked-in JSON file (``lint_baseline.json``) lists
+``{"code": ..., "where": ...}`` entries (``where`` is an fnmatch
+pattern) that suppress known findings so a new pass can land clean
+without weakening the gate for new regressions.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import fnmatch
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "Finding",
+    "FindingCode",
     "AnalysisReport",
     "PlanVerificationError",
+    "CODES",
+    "register_code",
+    "make_finding",
+    "explain_code",
+    "load_baseline",
     "ERROR",
     "WARNING",
     "INFO",
@@ -32,23 +51,122 @@ ERROR = "error"
 WARNING = "warning"
 INFO = "info"
 
+#: Gating order: a report "fails at" a threshold when it holds any
+#: finding at least this severe.
+_SEVERITY_RANK = {INFO: 0, WARNING: 1, ERROR: 2}
+
+
+# ----------------------------------------------------------------------
+# Finding-code registry
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class FindingCode:
+    """One registered finding code: identity, default severity, docs."""
+
+    code: str         # stable id, e.g. "HB001"
+    pass_name: str    # registry name of the pass that emits it
+    severity: str     # default severity (ERROR / WARNING / INFO)
+    summary: str      # one line, used in SARIF rule shortDescription
+    explanation: str  # long text for ``repro lint --explain CODE``
+
+
+#: code -> :class:`FindingCode`; populated at import time by each pass
+#: module.  The registry is what makes codes *stable*: a finding's code
+#: is its identity across releases, baselines and SARIF consumers.
+CODES: Dict[str, FindingCode] = {}
+
+
+def register_code(
+    code: str, pass_name: str, severity: str, summary: str,
+    explanation: str,
+) -> str:
+    """Register a finding code; returns ``code`` for assignment sugar."""
+    if code in CODES and CODES[code].pass_name != pass_name:
+        raise ValueError(
+            f"finding code {code} already registered by pass "
+            f"{CODES[code].pass_name!r}"
+        )
+    if severity not in _SEVERITY_RANK:
+        raise ValueError(f"unknown severity {severity!r} for {code}")
+    CODES[code] = FindingCode(code, pass_name, severity, summary,
+                              explanation)
+    return code
+
+
+def explain_code(code: str) -> Optional[str]:
+    """Human-readable explanation of a code, None if unregistered."""
+    fc = CODES.get(code)
+    if fc is None:
+        return None
+    return (
+        f"{fc.code} [{fc.severity}] ({fc.pass_name} pass)\n"
+        f"{fc.summary}\n\n{fc.explanation.strip()}\n"
+    )
+
 
 @dataclasses.dataclass(frozen=True)
 class Finding:
     """One result of one analysis pass."""
 
-    pass_name: str   # "legality" | "linearity" | "atomics" | "conservation"
+    pass_name: str   # registry name (see repro.analysis.registry)
     severity: str    # ERROR / WARNING / INFO
     where: str       # plan/kernel/op context, e.g. "group 1: bcast"
     message: str
+    code: str = ""   # stable finding code, e.g. "HB001" (see CODES)
 
     def format(self) -> str:
-        return (f"[{self.severity.upper():7s}] {self.pass_name}: "
+        code = f"{self.code} " if self.code else ""
+        return (f"[{self.severity.upper():7s}] {code}{self.pass_name}: "
                 f"{self.where}: {self.message}")
 
     def to_dict(self) -> Dict[str, str]:
         return dataclasses.asdict(self)
 
+
+def make_finding(code: str, where: str, message: str) -> Finding:
+    """Construct a finding from a registered code (pass + severity)."""
+    fc = CODES[code]
+    return Finding(fc.pass_name, fc.severity, where, message, code=code)
+
+
+# ----------------------------------------------------------------------
+# Baseline / suppression
+# ----------------------------------------------------------------------
+
+def load_baseline(path: str) -> List[Dict[str, str]]:
+    """Load baseline entries: ``[{"code": ..., "where": ...}, ...]``.
+
+    ``where`` patterns are fnmatch globs; a missing ``where`` matches
+    everywhere.  Raises ``ValueError`` on a malformed file (a broken
+    baseline must not silently disable suppression *or* gating).
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    entries = payload.get("suppress", payload) if isinstance(
+        payload, dict) else payload
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path}: expected a list of entries")
+    for entry in entries:
+        if not isinstance(entry, dict) or "code" not in entry:
+            raise ValueError(
+                f"baseline {path}: every entry needs a 'code' key: "
+                f"{entry!r}"
+            )
+    return entries
+
+
+def _suppressed(finding: Finding, entries: List[Dict[str, str]]) -> bool:
+    return any(
+        entry["code"] == finding.code
+        and fnmatch.fnmatch(finding.where, entry.get("where", "*"))
+        for entry in entries
+    )
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
 
 @dataclasses.dataclass
 class AnalysisReport:
@@ -78,6 +196,30 @@ class AnalysisReport:
     def ok(self) -> bool:
         return not self.errors
 
+    def gate(self, fail_on: str = ERROR) -> bool:
+        """Exit-code contract: True (pass) unless a finding reaches the
+        ``fail_on`` threshold.  The default gates on errors only —
+        warnings and infos exit 0; ``--fail-on warning`` flips that for
+        warnings.  Infos never gate."""
+        threshold = _SEVERITY_RANK[fail_on]
+        if threshold == 0:
+            threshold = 1  # infos are advisory by definition
+        return not any(
+            _SEVERITY_RANK[f.severity] >= threshold for f in self.findings
+        )
+
+    def apply_baseline(
+        self, entries: List[Dict[str, str]]
+    ) -> Tuple["AnalysisReport", int]:
+        """Return (report without suppressed findings, suppressed count)."""
+        kept = [f for f in self.findings if not _suppressed(f, entries)]
+        suppressed = len(self.findings) - len(kept)
+        return (
+            AnalysisReport(findings=kept, checked=self.checked,
+                           label=self.label),
+            suppressed,
+        )
+
     def raise_on_errors(self) -> None:
         if not self.ok:
             raise PlanVerificationError(self)
@@ -105,6 +247,54 @@ class AnalysisReport:
             },
             indent=indent,
         )
+
+    def to_sarif(self) -> dict:
+        """SARIF 2.1.0 log for CI consumption (one run, one tool)."""
+        level = {ERROR: "error", WARNING: "warning", INFO: "note"}
+        used = sorted({f.code for f in self.findings if f.code})
+        rules = [
+            {
+                "id": code,
+                "shortDescription": {"text": CODES[code].summary},
+                "fullDescription": {
+                    "text": CODES[code].explanation.strip()
+                },
+                "defaultConfiguration": {
+                    "level": level[CODES[code].severity]
+                },
+            }
+            for code in used if code in CODES
+        ]
+        results = [
+            {
+                "ruleId": f.code or f.pass_name,
+                "level": level[f.severity],
+                "message": {"text": f"{f.where}: {f.message}"},
+                "locations": [
+                    {
+                        "logicalLocations": [
+                            {"fullyQualifiedName": f.where}
+                        ]
+                    }
+                ],
+            }
+            for f in self.findings
+        ]
+        return {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "rules": rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
 
 
 class PlanVerificationError(RuntimeError):

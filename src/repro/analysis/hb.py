@@ -1,0 +1,189 @@
+"""Pass 5 — cross-kernel happens-before synchronization safety.
+
+The gpusim executor runs kernels **sequentially in launch order**
+(null-stream semantics): every kernel's completion is a device-wide
+synchronization, and blocks inside a kernel are list-scheduled in issue
+order.  Under that model the happens-before relation over a lowered
+kernel stream is the total launch order — a buffer's *producing sync*
+is the completion of the kernel that writes it, so a read is safe iff
+every writer of the buffer launches strictly before the reader.
+
+That sounds trivial until the adapter starts moving synchronizations:
+linear-property postponement deletes kernel boundaries, and a bug there
+(PR 2 found one by luck) reorders a consumer *before* the completion of
+the reduction it reads — a stale read that no per-kernel pass can see.
+This pass proves the ordering from the
+:class:`~repro.gpusim.kernel.KernelDataflow` metadata lowering stamps
+onto every kernel (excluded from memo fingerprints like
+``block_center``):
+
+* **HB001** (error) — a kernel reads a buffer whose producing sync has
+  not happened at its launch (the producer launches at or after the
+  reader): a stale read.
+* **HB002** (warning) — a kernel reads a buffer no kernel in the stream
+  writes: the ordering cannot be proven (a dropped producer, or
+  metadata drift).
+* **HB003** (info) — a provably removable sync: a kernel whose every op
+  the adapter could postpone into a downstream aggregate (its ops
+  commute with the sum) still runs as its own kernel, so the sync after
+  it is paid for nothing.  This fires on unfused plans and is exactly
+  the discount the ``linear`` fusion config takes.
+
+Kernels without dataflow metadata (lowered outside the shared
+``lower_plan`` path — GEMMs, SAGE phases) take part in the launch order
+but carry no buffer obligations, mirroring how ``lint_plan`` skips
+``chain=None`` layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..gpusim.kernel import KernelSpec
+from .findings import ERROR, INFO, WARNING, Finding, register_code
+from .findings import make_finding
+from .registry import LintPass, register_pass
+
+__all__ = ["check_happens_before"]
+
+PASS = "hb"
+
+HB001 = register_code(
+    "HB001", PASS, ERROR,
+    "stale read: buffer read before its producing sync",
+    """A kernel reads a buffer whose writer launches at or after it.
+Under the gpusim scheduling model (sequential launch order, each
+kernel completion a device-wide sync) the value is not published yet —
+for reduced buffers the reader would observe partial sums, for others
+garbage.  This is the cross-kernel bug class sync postponement can
+introduce: the adapter moved or removed a kernel boundary that the
+dataflow still relies on.""",
+)
+HB002 = register_code(
+    "HB002", PASS, WARNING,
+    "dangling read: no kernel in the stream writes the buffer",
+    """A kernel's dataflow metadata names a read buffer that no kernel
+in the analyzed stream produces.  The happens-before relation cannot be
+proven: either a producer kernel was dropped from the stream, or the
+lowering's dataflow stamping drifted from the plan.""",
+)
+HB003 = register_code(
+    "HB003", PASS, INFO,
+    "provably removable sync: postponable kernel before an aggregate",
+    """Every op in this kernel commutes with the downstream sum
+aggregation (linear property / BCAST materialization), and its output
+feeds an aggregate later in the stream — the kernel boundary (global
+sync) after it is provably removable by linear-property postponement,
+which the planner did not apply.  The §4.2 K1/K2 normalization discount
+is left on the table.""",
+)
+
+
+def _reaches_aggregate(
+    start: int, kernels: Sequence[KernelSpec],
+    readers: Dict[str, List[int]],
+) -> bool:
+    """Does ``start``'s output feed a downstream aggregate kernel,
+    possibly through other postponable kernels?"""
+    frontier = [start]
+    seen = set()
+    while frontier:
+        ki = frontier.pop()
+        if ki in seen:
+            continue
+        seen.add(ki)
+        flow = kernels[ki].dataflow
+        for buf in flow.writes:
+            for reader in readers.get(buf, []):
+                if reader <= ki:
+                    continue
+                rflow = kernels[reader].dataflow
+                if rflow.aggregate:
+                    return True
+                if rflow.postponable:
+                    frontier.append(reader)
+    return False
+
+
+def check_happens_before(
+    kernels: Sequence[KernelSpec], *, opportunities: bool = True
+) -> List[Finding]:
+    """Verify the happens-before order of one lowered kernel stream.
+
+    ``kernels`` is a launch-ordered stream — one layer's lowering or a
+    whole :class:`~repro.core.plan.CompiledPlan` kernel list (per-layer
+    name prefixes keep buffers distinct).  ``opportunities=False``
+    silences HB003 (used when the same stream is linted twice at
+    different scopes, so advisories are not duplicated).
+    """
+    findings: List[Finding] = []
+    writers: Dict[str, List[int]] = {}
+    readers: Dict[str, List[int]] = {}
+    for ki, kernel in enumerate(kernels):
+        flow = kernel.dataflow
+        if flow is None:
+            continue
+        for buf in flow.writes:
+            writers.setdefault(buf, []).append(ki)
+        for buf in flow.reads:
+            readers.setdefault(buf, []).append(ki)
+
+    for ki, kernel in enumerate(kernels):
+        flow = kernel.dataflow
+        if flow is None:
+            continue
+        where = f"kernel {ki}: {kernel.name}"
+        for buf in flow.reads:
+            producing = writers.get(buf)
+            if not producing:
+                findings.append(make_finding(
+                    HB002, where,
+                    f"reads buffer {buf!r} that no kernel in the stream "
+                    f"writes — the happens-before order cannot be "
+                    f"proven (dropped producer or stale dataflow "
+                    f"metadata)",
+                ))
+                continue
+            late = [w for w in producing if w >= ki]
+            if late:
+                wk = kernels[late[0]]
+                sync = (
+                    "producing sync (atomic partial-sum completion)"
+                    if wk.dataflow is not None
+                    and buf in wk.dataflow.sync_writes
+                    else "producing kernel's completion sync"
+                )
+                findings.append(make_finding(
+                    HB001, where,
+                    f"reads buffer {buf!r} but its {sync} — kernel "
+                    f"{late[0]} ({wk.name}) — happens at or after this "
+                    f"launch: a stale read under the sequential "
+                    f"launch-order model",
+                ))
+    if opportunities:
+        for ki, kernel in enumerate(kernels):
+            flow = kernel.dataflow
+            if flow is None or not flow.postponable:
+                continue
+            if _reaches_aggregate(ki, kernels, readers):
+                findings.append(make_finding(
+                    HB003, f"kernel {ki}: {kernel.name}",
+                    "every op commutes with the downstream aggregation "
+                    "— the global sync after this kernel is provably "
+                    "removable by linear-property postponement, which "
+                    "the planner did not apply",
+                ))
+    return findings
+
+
+register_pass(LintPass(
+    name=PASS,
+    doc="happens-before sync safety over the lowered kernel stream",
+    lowering=lambda ctx: check_happens_before(ctx.kernels),
+    # Whole-plan scope: the same checker over the full launch-ordered
+    # stream catches cross-layer ordering damage; advisories already
+    # fired per layer.
+    artifact=lambda plan, graph, config: check_happens_before(
+        plan.kernels, opportunities=False
+    ),
+))

@@ -34,11 +34,81 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..core.compgraph import OP_EFFECTS, FusionPlan, Op, OpKind
-from .findings import ERROR, Finding
+from .findings import ERROR, Finding, make_finding, register_code
+from .registry import LintPass, register_pass
 
 __all__ = ["chain_dataflow", "check_fusion_legality"]
 
 PASS = "legality"
+
+LG001 = register_code(
+    "LG001", PASS, ERROR,
+    "fusion plan contains an op the chain does not",
+    """A fusion group holds an op that is not in the source chain (or a
+duplicate of one already matched).  Fusion partitions the chain; it
+must conserve the op multiset exactly — an extra op means the planner
+invented or duplicated work.""",
+)
+LG002 = register_code(
+    "LG002", PASS, ERROR,
+    "fusion plan dropped a chain op",
+    """An op of the source chain appears in no fusion group: the plan
+would simply not execute it.  Fusion must conserve the op multiset.""",
+)
+LG003 = register_code(
+    "LG003", PASS, ERROR,
+    "non-postponed ops reordered across the plan",
+    """Reading fusion groups in execution order yields the chain's
+non-postponed ops out of their original order.  Only the linear-property
+postponement may move an op; everything else must keep chain order.""",
+)
+LG004 = register_code(
+    "LG004", PASS, ERROR,
+    "postponed op is not linear in its edge operand",
+    """An op was moved past an aggregation but is neither linear nor a
+BCAST materialization: applying it to the aggregated output instead of
+per edge does not commute with the sum, so results would change.""",
+)
+LG005 = register_code(
+    "LG005", PASS, ERROR,
+    "postponed op's host group has no later AGGREGATE",
+    """A postponed op landed in a group that contains no aggregation
+after it — there is nothing to postpone past, so the op would execute
+at the wrong granularity for no reason.""",
+)
+LG006 = register_code(
+    "LG006", PASS, ERROR,
+    "BCAST postponed without a postponed consumer",
+    """A bare broadcast is constant in its edge operand; it can ride
+along a postponement only as the materialization feeding another
+postponed op.  Postponing it alone is meaningless and signals a
+planner bug.""",
+)
+LG007 = register_code(
+    "LG007", PASS, ERROR,
+    "consumer reads a value that has not been produced yet",
+    """Def-use resolution found a consumer scheduled at or before its
+producer (or reading a value whose producer was postponed past it).
+Execution order within a plan is groups-in-order, ranks-in-order,
+postponed ops at kernel end.""",
+)
+LG008 = register_code(
+    "LG008", PASS, ERROR,
+    "in-kernel read of a fused segment reduction (partial sums)",
+    """A consumer reads a SEG_REDUCE output inside the producing kernel.
+The reduction is complete only at BLOCK scope (or GLOBAL under neighbor
+grouping), and edge-parallel chunking does not align blocks with
+segment boundaries — the consumer would read partial sums.  A kernel
+boundary (global sync) is required.""",
+)
+LG009 = register_code(
+    "LG009", PASS, ERROR,
+    "illegal in-kernel consumer of an aggregation/GEMM output",
+    """Only a linear elementwise epilogue may read an AGGREGATE or DENSE
+output inside its own kernel (scaling distributes over the partial
+sums).  Any other consumer needs the output complete, i.e. a kernel
+boundary.""",
+)
 
 
 def chain_dataflow(ops: List[Op]) -> List[List[int]]:
@@ -128,8 +198,8 @@ def _match_plan_positions(
                 None,
             )
             if hit is None:
-                findings.append(Finding(
-                    PASS, ERROR, f"group {gi}: {op.name}",
+                findings.append(make_finding(
+                    LG001, f"group {gi}: {op.name}",
                     "op does not appear in the chain (duplicated or "
                     "foreign op) — fusion must conserve the op multiset",
                 ))
@@ -137,8 +207,8 @@ def _match_plan_positions(
             unmatched.remove(hit)
             pos[hit] = (gi, rank, postponed)
     for i in unmatched:
-        findings.append(Finding(
-            PASS, ERROR, f"chain op {i}: {ops[i].name}",
+        findings.append(make_finding(
+            LG002, f"chain op {i}: {ops[i].name}",
             "op dropped by the fusion plan — fusion must conserve the "
             "op multiset",
         ))
@@ -150,8 +220,8 @@ def _match_plan_positions(
         key=lambda i: (pos[i][0], pos[i][1]),
     )
     if seq != sorted(seq):
-        findings.append(Finding(
-            PASS, ERROR, "plan",
+        findings.append(make_finding(
+            LG003, "plan",
             "non-postponed ops were reordered relative to the chain",
         ))
     return pos
@@ -189,8 +259,8 @@ def check_fusion_legality(
         if postponed:
             eff = OP_EFFECTS[op.kind]
             if not (op.linear or op.kind == OpKind.BCAST):
-                findings.append(Finding(
-                    PASS, ERROR, f"group {gi}: {op.name}",
+                findings.append(make_finding(
+                    LG004, f"group {gi}: {op.name}",
                     "postponed past an aggregation but not linear in its "
                     "edge operand — the rewrite does not commute with "
                     "the sum",
@@ -201,8 +271,8 @@ def check_fusion_legality(
                 and not pos[j][2]
             ]
             if not any(j > i for j in agg_positions):
-                findings.append(Finding(
-                    PASS, ERROR, f"group {gi}: {op.name}",
+                findings.append(make_finding(
+                    LG005, f"group {gi}: {op.name}",
                     "postponed into a group that holds no later "
                     "AGGREGATE to postpone past",
                 ))
@@ -212,8 +282,8 @@ def check_fusion_legality(
                     if i in deps[j] and pos[j][2] and pos[j][0] == gi
                 ]
                 if not consumers:
-                    findings.append(Finding(
-                        PASS, ERROR, f"group {gi}: {op.name}",
+                    findings.append(make_finding(
+                        LG006, f"group {gi}: {op.name}",
                         "BCAST postponed without a postponed consumer — "
                         "a bare broadcast is constant in its edge "
                         "operand and cannot be postponed on its own",
@@ -229,8 +299,8 @@ def check_fusion_legality(
                     # substitution's legality (linearity / BCAST
                     # companionship) is checked on the postponed op.
                     continue
-                findings.append(Finding(
-                    PASS, ERROR,
+                findings.append(make_finding(
+                    LG007,
                     f"group {gi}: {op.name} <- {producer.name}",
                     "reads a value that has not been produced yet "
                     + ("(its producer was postponed past it)" if pd
@@ -245,8 +315,8 @@ def check_fusion_legality(
                     "across blocks)" if grouped else \
                     "BLOCK, and edge-parallel chunking does not align " \
                     "blocks with segment boundaries"
-                findings.append(Finding(
-                    PASS, ERROR,
+                findings.append(make_finding(
+                    LG008,
                     f"group {gi}: {op.name} <- {producer.name}",
                     f"reads a segment reduction fused into the same "
                     f"kernel; the reduction completes only at {scope} "
@@ -255,8 +325,8 @@ def check_fusion_legality(
                 ))
             elif producer.kind in (OpKind.AGGREGATE, OpKind.DENSE):
                 if not (op.linear and OP_EFFECTS[op.kind].elementwise):
-                    findings.append(Finding(
-                        PASS, ERROR,
+                    findings.append(make_finding(
+                        LG009,
                         f"group {gi}: {op.name} <- {producer.name}",
                         "reads an aggregation/GEMM output inside its own "
                         "kernel; only a linear elementwise epilogue "
@@ -266,3 +336,12 @@ def check_fusion_legality(
             # Elementwise producers complete at THREAD scope: aligned
             # same-kernel consumers are always legal.
     return findings
+
+
+register_pass(LintPass(
+    name=PASS,
+    doc="fusion legality from re-derived def-use/visible ranges",
+    lowering=lambda ctx: check_fusion_legality(
+        ctx.ops, ctx.plan, grouped=ctx.grouped
+    ),
+))

@@ -27,11 +27,54 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.compgraph import OP_EFFECTS, OP_NUMERIC, Op
-from .findings import ERROR, INFO, WARNING, Finding
+from .findings import (
+    ERROR,
+    INFO,
+    WARNING,
+    Finding,
+    make_finding,
+    register_code,
+)
+from .registry import LintPass, register_pass
 
 __all__ = ["probe_commutes_with_sum", "check_linear_flags"]
 
 PASS = "linearity"
+
+LN001 = register_code(
+    "LN001", PASS, ERROR,
+    "linear flag on an algebraically ineligible op kind",
+    """The op kind cannot be linear in an edge operand (a BCAST is
+constant in it; a SEG_REDUCE/U_ADD_V has none).  Postponing an op on
+the strength of this flag would corrupt results.""",
+)
+LN002 = register_code(
+    "LN002", PASS, WARNING,
+    "linear flag without registered numeric semantics",
+    """The op is flagged linear but its name has no OP_NUMERIC entry, so
+the randomized distributivity probe cannot verify the flag.  Register
+the op's semantics or drop the flag.""",
+)
+LN003 = register_code(
+    "LN003", PASS, ERROR,
+    "linear flag refuted by the distributivity probe",
+    """The op's registered semantics failed additivity, homogeneity, or
+commutation with segment sums on randomized inputs: it is not linear,
+and postponing it would corrupt results.""",
+)
+LN004 = register_code(
+    "LN004", PASS, WARNING,
+    "numeric semantics raised during the distributivity probe",
+    """The op's registered semantics threw on the probe's randomized
+inputs; linearity is unverified either way.""",
+)
+LN005 = register_code(
+    "LN005", PASS, INFO,
+    "provably linear op not flagged linear",
+    """The op's semantics commute with sum aggregation but the chain
+does not flag it linear — a postponement opportunity (the paper's
+§4.2 K1/K2 normalization discount) is left unused.""",
+)
 
 #: Probe sizes: enough segments/edges for a nonlinearity to show, small
 #: enough that the probe costs microseconds.
@@ -92,16 +135,16 @@ def check_linear_flags(ops: List[Op], *, seed: int = 0) -> List[Finding]:
         fn = OP_NUMERIC.get(op.name)
         if op.linear:
             if not eff.can_be_linear:
-                findings.append(Finding(
-                    PASS, ERROR, op.name,
+                findings.append(make_finding(
+                    LN001, op.name,
                     f"flagged linear but a {op.kind.value} op cannot be "
                     "linear in an edge operand (it is constant in it or "
                     "has none) — postponing it would corrupt results",
                 ))
                 continue
             if fn is None:
-                findings.append(Finding(
-                    PASS, WARNING, op.name,
+                findings.append(make_finding(
+                    LN002, op.name,
                     "flagged linear but has no registered numeric "
                     "semantics (OP_NUMERIC) — the distributivity probe "
                     "cannot verify the flag",
@@ -109,24 +152,31 @@ def check_linear_flags(ops: List[Op], *, seed: int = 0) -> List[Finding]:
                 continue
             verdict = probe_commutes_with_sum(fn, seed=seed)
             if verdict is False:
-                findings.append(Finding(
-                    PASS, ERROR, op.name,
+                findings.append(make_finding(
+                    LN003, op.name,
                     "flagged linear but its semantics do not commute "
                     "with sum aggregation (randomized distributivity "
                     "probe failed) — postponing it would corrupt "
                     "results",
                 ))
             elif verdict is None:
-                findings.append(Finding(
-                    PASS, WARNING, op.name,
+                findings.append(make_finding(
+                    LN004, op.name,
                     "numeric semantics raised during the distributivity "
                     "probe; linearity unverified",
                 ))
         elif fn is not None and eff.can_be_linear and eff.elementwise:
             if probe_commutes_with_sum(fn, seed=seed):
-                findings.append(Finding(
-                    PASS, INFO, op.name,
+                findings.append(make_finding(
+                    LN005, op.name,
                     "commutes with sum aggregation but is not flagged "
                     "linear — a postponement opportunity is unused",
                 ))
     return findings
+
+
+register_pass(LintPass(
+    name=PASS,
+    doc="algebraic + randomized verification of linear flags",
+    chain=check_linear_flags,
+))

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import glob
+import json
 import os
 import sys
 from typing import List, Optional
@@ -74,7 +75,7 @@ def cmd_compare(args) -> int:
     for name in _dataset_list(args):
         g = load_dataset(name)
         row = [name]
-        for fname, fw in frameworks.items():
+        for fw in frameworks.values():
             try:
                 row.append(fw.run_model(args.model, g, sim).time_ms)
             except NotSupported:
@@ -146,8 +147,34 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def _write_sarif(path: str, report) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(report.to_sarif(), fh, indent=2)
+        fh.write("\n")
+
+
 def cmd_lint(args) -> int:
-    from .analysis import FUSION_CONFIGS, MODEL_CHAINS, lint_shipped
+    from .analysis import (
+        CODES,
+        FUSION_CONFIGS,
+        MODEL_CHAINS,
+        explain_code,
+        lint_shipped,
+        load_baseline,
+    )
+
+    if args.explain:
+        text = explain_code(args.explain)
+        if text is None:
+            raise SystemExit(
+                f"unknown finding code {args.explain!r}; known codes: "
+                f"{', '.join(sorted(CODES))}"
+            )
+        print(text)
+        return 0
 
     # --model/--dataset/--fusion are repeatable singular filters; the
     # legacy plural spellings (--models/--datasets) merge with them.
@@ -167,11 +194,24 @@ def cmd_lint(args) -> int:
                 f"unknown fusion config {f!r}; choose from {fusion_names}"
             )
     report = lint_shipped(_dataset_list(args), models, fusions=fusions)
+    suppressed = 0
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load baseline: {exc}") from exc
+        report, suppressed = report.apply_baseline(entries)
+    if args.sarif:
+        _write_sarif(args.sarif, report)
     if args.json:
         print(report.to_json())
     else:
         print(report.format(verbose=args.verbose))
-    return 0 if report.ok else 1
+        if suppressed:
+            print(f"({suppressed} baselined finding(s) suppressed)")
+    # Exit-code contract: errors always gate; warnings only under
+    # --fail-on warning; info findings never gate.
+    return 0 if report.gate(args.fail_on) else 1
 
 
 # ----------------------------------------------------------------------
@@ -243,11 +283,17 @@ def cmd_plan_show(args) -> int:
 
 def cmd_plan_lint(args) -> int:
     """Run the static analysis passes over saved plan artifacts."""
-    from .analysis import lint_plan
+    from .analysis import INFO, AnalysisReport, lint_plan, load_baseline
     from .core.persistence import load_plan
 
     ok = True
-    checked = 0
+    merged = AnalysisReport(label="plan-lint")
+    entries = []
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load baseline: {exc}") from exc
     for path in _plan_paths(args):
         plan = load_plan(path)
         if plan is None:
@@ -255,12 +301,17 @@ def cmd_plan_lint(args) -> int:
             ok = False
             continue
         report = lint_plan(plan)
-        checked += report.checked
+        if entries:
+            report, _ = report.apply_baseline(entries)
+        merged.merge(report)
         for f in report.findings:
-            print(f"{path}: {f.format()}")
-        if not report.ok:
-            ok = False
-    print(f"plan lint: {checked} layer lowering(s) checked, "
+            if args.verbose or f.severity != INFO:
+                print(f"{path}: {f.format()}")
+    if args.sarif:
+        _write_sarif(args.sarif, merged)
+    if not merged.gate(args.fail_on):
+        ok = False
+    print(f"plan lint: {merged.checked} layer lowering(s) checked, "
           f"{'ok' if ok else 'FINDINGS'}")
     return 0 if ok else 1
 
@@ -340,6 +391,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="machine-readable report")
     sp.add_argument("--verbose", action="store_true",
                     help="include info-level findings")
+    sp.add_argument("--explain", metavar="CODE", default=None,
+                    help="print the documentation of a finding code "
+                         "(e.g. HB001) and exit")
+    sp.add_argument("--fail-on", choices=["error", "warning"],
+                    default="error", dest="fail_on",
+                    help="severity that flips the exit code to 1 "
+                         "(default: error; info findings never gate)")
+    sp.add_argument("--baseline", default=None, metavar="PATH",
+                    help="JSON suppression file of known findings "
+                         "(see lint_baseline.json)")
+    sp.add_argument("--sarif", default=None, metavar="PATH",
+                    help="write the report as SARIF 2.1.0 JSON")
     sp.set_defaults(func=cmd_lint)
 
     sp = sub.add_parser(
@@ -375,6 +438,15 @@ def build_parser() -> argparse.ArgumentParser:
     psp.add_argument("paths", nargs="*", help="plan_<id>.npz files")
     psp.add_argument("--dir", default=None,
                      help="read every *.npz artifact in a directory")
+    psp.add_argument("--verbose", action="store_true",
+                     help="include info-level findings")
+    psp.add_argument("--fail-on", choices=["error", "warning"],
+                     default="error", dest="fail_on",
+                     help="severity that flips the exit code to 1")
+    psp.add_argument("--baseline", default=None, metavar="PATH",
+                     help="JSON suppression file of known findings")
+    psp.add_argument("--sarif", default=None, metavar="PATH",
+                     help="write the merged report as SARIF 2.1.0 JSON")
     psp.set_defaults(func=cmd_plan, plan_func=cmd_plan_lint)
     return p
 

@@ -38,7 +38,7 @@ from .compgraph import (
     unfused_plan,
 )
 
-__all__ = ["plan_fusion"]
+__all__ = ["plan_fusion", "postponable_into_aggregate"]
 
 _EDGE_CHAIN = {
     OpKind.EDGE_MAP,
@@ -57,6 +57,22 @@ def _consumes_reduced(op: Op) -> bool:
     materializing BCAST in between, so it must be covered too.
     """
     return OP_EFFECTS[op.kind].consumes_reduced
+
+
+def postponable_into_aggregate(op: Op) -> bool:
+    """Is this op individually eligible for linear-property postponement?
+
+    A BCAST (the materialization of a reduced per-center scalar) or a
+    linear op consuming reduced data can be moved past the next
+    aggregation: the rewrite commutes with the sum.  This is the single
+    definition both the planner's run-marking walk and the lowering's
+    dataflow stamping consult.
+    """
+    if op.kind not in (OpKind.BCAST, OpKind.EDGE_DIV):
+        return False
+    return op.kind == OpKind.BCAST or (
+        _consumes_reduced(op) and op.linear
+    )
 
 
 def _fusable_after(
@@ -121,12 +137,7 @@ def plan_fusion(
                 continue
             run = []
             j = i - 1
-            while j >= 0 and ops[j].kind in (
-                OpKind.BCAST, OpKind.EDGE_DIV
-            ) and (
-                ops[j].kind == OpKind.BCAST
-                or (_consumes_reduced(ops[j]) and ops[j].linear)
-            ):
+            while j >= 0 and postponable_into_aggregate(ops[j]):
                 run.append(j)
                 j -= 1
             if run and any(

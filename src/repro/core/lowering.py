@@ -27,8 +27,9 @@ from typing import List, Optional
 import numpy as np
 
 from ..gpusim.config import GPUConfig
-from ..gpusim.kernel import KernelSpec
+from ..gpusim.kernel import KernelDataflow, KernelSpec
 from ..graph.csr import CSRGraph
+from .adapter import postponable_into_aggregate
 from .compgraph import FusionGroup, FusionPlan, OpKind
 from .grouping import GroupingPlan, identity_grouping
 
@@ -415,6 +416,104 @@ def _group_kinds(group: FusionGroup) -> set:
     return {op.kind for op in group.ops}
 
 
+def _plan_dataflow(plan: FusionPlan, prefix: str) -> List[KernelDataflow]:
+    """Logical cross-kernel dataflow of each fusion group's kernel.
+
+    Walks the plan in execution order resolving every op's operands the
+    same way the chain executes them (postponed ops run inside their
+    host group, reading only their reduced/broadcast operand — their
+    edge-aligned value is never materialized; they transform the
+    aggregate's output in-kernel).  A buffer appears in the metadata
+    only when it crosses a kernel boundary: produced in one group and
+    consumed in a later one, or the chain's final output.  Buffer names
+    are ``prefix + op.name`` — the per-layer prefixes keep them unique
+    across a whole :class:`~repro.core.plan.CompiledPlan` stream.
+    """
+    num = len(plan.groups)
+    reads: List[set] = [set() for _ in range(num)]
+    consumers: dict = {}
+    producer_group: dict = {}
+    sync_names: set = set()
+    # Producer trackers: (walk step, group index, buffer name).
+    last_e1 = last_e1_nonbcast = last_bcast = last_reduce = last_nf = None
+
+    def read(gi: int, src) -> None:
+        if src is not None and src[1] != gi:
+            reads[gi].add(src[2])
+            consumers.setdefault(src[2], set()).add(gi)
+
+    step = 0
+    final_name = ""
+    for gi, group in enumerate(plan.groups):
+        entries = [(op, False) for op in group.ops] + [
+            (op, True) for op in group.postponed
+        ]
+        group_reduced = False  # an in-group reduction precedes this op
+        for op, postponed in entries:
+            kind = op.kind
+            if kind in (OpKind.EDGE_MAP, OpKind.SEG_REDUCE):
+                if not postponed:
+                    read(gi, last_e1)
+            elif kind == OpKind.BCAST:
+                read(gi, last_reduce)
+            elif kind == OpKind.EDGE_DIV:
+                if not postponed:
+                    read(gi, last_e1_nonbcast)
+                denom = last_bcast if (
+                    last_bcast is not None
+                    and (last_reduce is None
+                         or last_bcast[0] > last_reduce[0])
+                ) else last_reduce
+                read(gi, denom)
+            elif kind == OpKind.AGGREGATE:
+                read(gi, last_e1)
+                read(gi, last_nf)
+            elif kind in (OpKind.NODE_MAP, OpKind.DENSE):
+                read(gi, last_nf)
+            if postponed:
+                continue  # applied to the aggregate output in-kernel
+            name = prefix + op.name
+            producer_group[name] = gi
+            final_name = name
+            if kind in (OpKind.SEG_REDUCE, OpKind.AGGREGATE):
+                group_reduced = True
+            if group_reduced:
+                # Reduced values — and any epilogue value derived from
+                # them inside the same kernel — are complete only at the
+                # kernel's completion sync (atomic partial merges).
+                sync_names.add(name)
+            src = (step, gi, name)
+            step += 1
+            out = op.out_shape
+            if out in ("E1", "EF") and kind != OpKind.SEG_REDUCE:
+                last_e1 = src
+                if kind == OpKind.BCAST:
+                    last_bcast = src
+                else:
+                    last_e1_nonbcast = src
+            if out == "NF":
+                last_nf = src
+            if kind == OpKind.SEG_REDUCE:
+                last_reduce = src
+
+    flows: List[KernelDataflow] = []
+    for gi, group in enumerate(plan.groups):
+        writes = tuple(sorted(
+            name for name, pg in producer_group.items()
+            if pg == gi and (consumers.get(name) or name == final_name)
+        ))
+        flows.append(KernelDataflow(
+            reads=tuple(sorted(reads[gi])),
+            writes=writes,
+            sync_writes=tuple(n for n in writes if n in sync_names),
+            postponable=bool(group.ops) and not group.postponed and all(
+                postponable_into_aggregate(op) for op in group.ops
+            ),
+            aggregate=OpKind.AGGREGATE in _group_kinds(group),
+        ))
+    return flows
+
+
 def lower_plan(
     plan: FusionPlan,
     graph: CSRGraph,
@@ -434,7 +533,7 @@ def lower_plan(
     charged per *output* element instead of per edge.
     """
     kernels: List[KernelSpec] = []
-    for gi, group in enumerate(plan.groups):
+    for group in plan.groups:
         kinds = _group_kinds(group)
         kname = prefix + "+".join(op.name for op in group.ops)
         edge_flops = sum(
@@ -527,4 +626,6 @@ def lower_plan(
                     seg_reduce=has_reduce,
                 )
             )
+    for kernel, flow in zip(kernels, _plan_dataflow(plan, prefix)):
+        kernel.dataflow = flow
     return kernels

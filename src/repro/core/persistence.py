@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 
 from ..graph.csr import CSRGraph
-from ..gpusim.kernel import KernelSpec
+from ..gpusim.kernel import KernelDataflow, KernelSpec
 from ..gpusim.metrics import KernelStats
 from .scheduling import ScheduleResult, locality_aware_schedule
 from .tuner import TuningResult
@@ -335,6 +335,9 @@ def save_plan(path: str, plan) -> None:
             "counts_launch": k.counts_launch,
             "tag": k.tag,
             "arrays": present,
+            "dataflow": (
+                k.dataflow.to_meta() if k.dataflow is not None else None
+            ),
         })
     layers_meta = []
     for j, rec in enumerate(plan.layers):
@@ -440,6 +443,10 @@ def load_plan(path: str, expect_id: Optional[str] = None):
                     row_bytes=int(km["row_bytes"]),
                     counts_launch=bool(km["counts_launch"]),
                     tag=km["tag"],
+                    dataflow=(
+                        KernelDataflow.from_meta(km["dataflow"])
+                        if km.get("dataflow") is not None else None
+                    ),
                     **kwargs,
                 ))
             layers = []

@@ -48,8 +48,9 @@ __all__ = [
 ]
 
 #: Bumped whenever the serialized schema changes; stale artifacts are
-#: recompiled, never guessed at.
-PLAN_VERSION = 1
+#: recompiled, never guessed at.  v2: per-kernel ``dataflow`` metadata
+#: (happens-before analysis) joined the kernel meta blob.
+PLAN_VERSION = 2
 
 #: The staged pipeline, in order.  Every ``PlanBuilder.stage`` entry must
 #: name one of these.

@@ -96,7 +96,7 @@ def pick_lanes(feat_len: int) -> int:
 def pick_launch_config(
     feat_len: int,
     bound: int = 32,
-    sm: SMResources = SMResources(),
+    sm: Optional[SMResources] = None,
 ) -> LaunchConfig:
     """The tuner's first step (§4.4): exhaust GPU resources.
 
@@ -105,6 +105,7 @@ def pick_launch_config(
     memory usage (the per-block neighbor staging buffer is what competes
     for it) exactly as the paper describes.
     """
+    sm = sm if sm is not None else SMResources()
     best = LaunchConfig()
     best_warps = -1
     for threads in (128, 256, 512):

@@ -92,7 +92,7 @@ class OursRuntime(Framework):
 
     def __init__(
         self,
-        options: OursOptions = OursOptions(),
+        options: Optional[OursOptions] = None,
         schedule_fn=None,
     ) -> None:
         """``schedule_fn(graph) -> ScheduleResult`` overrides how the
@@ -101,7 +101,7 @@ class OursRuntime(Framework):
         ``plan_cache_safe = True`` to keep this instance's plans in the
         global content-addressed cache; otherwise the cache is bypassed,
         since the plan key cannot see the custom behaviour."""
-        self.options = options
+        self.options = options if options is not None else OursOptions()
         self._schedule_fn = schedule_fn or locality_aware_schedule
         self._plan_cache_safe = schedule_fn is None or bool(
             getattr(schedule_fn, "plan_cache_safe", False)

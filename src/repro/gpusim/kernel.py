@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["KernelSpec", "strict_mode"]
+__all__ = ["KernelDataflow", "KernelSpec", "strict_mode"]
 
 
 def strict_mode() -> bool:
@@ -35,6 +35,56 @@ def strict_mode() -> bool:
     Off by default: the checks scan every per-block array, which is real
     work on hot lowering paths that build thousands of kernels."""
     return os.environ.get("REPRO_STRICT", "") not in ("", "0")
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelDataflow:
+    """Cross-kernel dataflow of one lowered kernel (analysis metadata).
+
+    Buffers are the logical chain-intermediate tensors that materialize
+    at fusion-group boundaries, named ``<prefix><op.name>`` by the
+    lowering walk; values that stay in registers inside one kernel never
+    appear here.  Like ``block_center``, this never enters the cost
+    model or the memo fingerprint — it exists so the happens-before pass
+    can order reads against producing synchronizations without
+    re-deriving the lowering.
+
+    ``sync_writes`` is the subset of ``writes`` whose value is complete
+    only at the kernel's *completion sync* (segment reductions and
+    atomically-merged aggregations publish partial sums until then);
+    under the gpusim scheduling model every kernel completion is a
+    device-wide sync (null-stream semantics), so a reader launched after
+    the producer is ordered after that sync.  ``postponable`` marks a
+    kernel whose every op the linear-property adapter could have
+    postponed into a downstream aggregate; ``aggregate`` marks the
+    aggregation kernels such removable work would fold into.
+    """
+
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    sync_writes: Tuple[str, ...] = ()
+    postponable: bool = False
+    aggregate: bool = False
+
+    def to_meta(self) -> dict:
+        """JSON-serializable form (plan-artifact persistence)."""
+        return {
+            "reads": list(self.reads),
+            "writes": list(self.writes),
+            "sync_writes": list(self.sync_writes),
+            "postponable": self.postponable,
+            "aggregate": self.aggregate,
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "KernelDataflow":
+        return cls(
+            reads=tuple(meta["reads"]),
+            writes=tuple(meta["writes"]),
+            sync_writes=tuple(meta["sync_writes"]),
+            postponable=bool(meta["postponable"]),
+            aggregate=bool(meta["aggregate"]),
+        )
 
 
 @dataclasses.dataclass
@@ -53,6 +103,11 @@ class KernelSpec:
     #: atomic-race detector uses it to find write-write conflicts; it
     #: never enters the cost model or the memo fingerprint.
     block_center: Optional[np.ndarray] = None  # int64[B]
+    #: Logical buffer reads/writes and sync semantics for the
+    #: happens-before pass (None for kernels lowered outside the shared
+    #: ``lower_plan`` path).  Analysis-only, excluded from the memo
+    #: fingerprint like ``block_center``.
+    dataflow: Optional[KernelDataflow] = None
 
     def __post_init__(self) -> None:
         self.block_flops = np.asarray(self.block_flops, dtype=np.float64)
@@ -195,4 +250,8 @@ class KernelSpec:
                 None if self.block_center is None
                 else self.block_center[block_perm]
             ),
+            # Logical dataflow is per-kernel, not per-block: a block
+            # permutation changes the issue order, not what the kernel
+            # reads or publishes.
+            dataflow=self.dataflow,
         )

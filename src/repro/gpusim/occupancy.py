@@ -13,6 +13,7 @@ derives from.
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 __all__ = ["SMResources", "LaunchConfig", "blocks_per_sm", "occupancy"]
 
@@ -51,7 +52,7 @@ def _round_up(x: int, unit: int) -> int:
 
 
 def blocks_per_sm(
-    launch: LaunchConfig, sm: SMResources = SMResources()
+    launch: LaunchConfig, sm: Optional[SMResources] = None
 ) -> int:
     """Maximum concurrently-resident blocks of this kernel per SM.
 
@@ -59,6 +60,7 @@ def blocks_per_sm(
     register file, shared memory.  Returns 0 when a single block does
     not fit (launch failure).
     """
+    sm = sm if sm is not None else SMResources()
     warps = -(-launch.threads_per_block // sm.warp_size)
     if (
         launch.threads_per_block > sm.max_threads
@@ -87,10 +89,11 @@ def blocks_per_sm(
 
 
 def occupancy(
-    launch: LaunchConfig, sm: SMResources = SMResources()
+    launch: LaunchConfig, sm: Optional[SMResources] = None
 ) -> float:
     """Achieved occupancy: resident warps / warp slots (the nvprof
     metric the paper's Observation 2 instrumentation is built on)."""
+    sm = sm if sm is not None else SMResources()
     blocks = blocks_per_sm(launch, sm)
     warps = -(-launch.threads_per_block // sm.warp_size)
     return blocks * warps / sm.max_warps

@@ -16,6 +16,7 @@ Fig. 1/Fig. 6; its execution strategies live in
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 import numpy as np
 
@@ -46,10 +47,11 @@ def sage_lstm_reference_forward(
     graph: CSRGraph,
     feat: np.ndarray,
     params: SageLSTMParams,
-    config: SageLSTMConfig = SageLSTMConfig(),
+    config: Optional[SageLSTMConfig] = None,
     strategy: SageStrategy = SageStrategy.BASE,
 ) -> np.ndarray:
     """One GraphSAGE-LSTM layer under any execution strategy."""
+    config = config if config is not None else SageLSTMConfig()
     h_neigh = run_sage_lstm_functional(
         graph,
         feat,

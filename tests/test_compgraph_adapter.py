@@ -83,7 +83,7 @@ class TestAdapterGAT:
         plan = plan_fusion(
             gat_attention_ops(), allow_adapter=True, grouped=True
         )
-        for gi, group in enumerate(plan.groups):
+        for group in plan.groups:
             names = group.names
             if "seg_sum" in names:
                 assert "bcast" not in names

@@ -416,3 +416,47 @@ class TestLintPlan:
         assert any(
             "not a shipped dataset" in f.message for f in report.findings
         )
+
+
+class TestPlanShowCLI:
+    def _saved(self, g, tmp_path):
+        perf.configure(memo=False)
+        plan = OursRuntime().compile("gcn", g, V100_SCALED)
+        path = str(tmp_path / f"plan_{plan.plan_id}.npz")
+        save_plan(path, plan)
+        return plan, path
+
+    def test_show_prints_schema_summary(self, g, tmp_path, capsys):
+        from repro.cli import main
+
+        plan, path = self._saved(g, tmp_path)
+        assert main(["plan", "show", path]) == 0
+        out = capsys.readouterr().out
+        assert f"plan {plan.plan_id}" in out
+        assert "framework=ours model=gcn" in out
+        assert f"kernels={plan.num_kernels}" in out
+        # Every chain layer's fusion summary is part of the schema.
+        for rec in plan.layers:
+            assert f"layer {rec.label}:" in out
+
+    def test_show_dir_globs_artifacts(self, g, tmp_path, capsys):
+        from repro.cli import main
+
+        self._saved(g, tmp_path)
+        assert main(["plan", "show", "--dir", str(tmp_path)]) == 0
+        assert "framework=ours" in capsys.readouterr().out
+
+    def test_show_unreadable_artifact_exits_nonzero(self, tmp_path,
+                                                    capsys):
+        from repro.cli import main
+
+        bogus = tmp_path / "plan_bogus.npz"
+        bogus.write_bytes(b"not an npz")
+        assert main(["plan", "show", str(bogus)]) == 1
+        assert "unreadable" in capsys.readouterr().out
+
+    def test_show_without_paths_exits_with_usage_error(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="no plan artifacts"):
+            main(["plan", "show"])

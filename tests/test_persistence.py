@@ -97,14 +97,15 @@ class TestTuningRoundTrip:
         path = str(tmp_path / "tune.json")
         with open(path, "w") as fh:
             fh.write('{"fingerprint": ')  # truncated write
-        with pytest.raises(Exception):
-            json.load(open(path))
+        with pytest.raises(ValueError):
+            with open(path) as fh:
+                json.load(fh)
         # load_tuning itself must degrade to a miss, not raise.
         try:
             assert load_tuning(path, g, 32) is None
         except ValueError:
             # json decode errors are ValueError subclasses and caught.
-            raise AssertionError("load_tuning leaked a parse error")
+            raise AssertionError("load_tuning leaked a parse error") from None
 
 
 class TestKernelStatsRoundTrip:
