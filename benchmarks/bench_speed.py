@@ -19,10 +19,26 @@ the codebase over time.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_speed.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_speed.py [--quick] [--check]
+        [--workers N]
 
 ``--quick`` shrinks the workload (small datasets, short sweep) for CI
 smoke runs; the full workload is the one the speedup targets quote.
+Quick timings are the median of three runs after one warmup (wall-clock
+on shared CI runners is noisy; the median of a warmed process tree is
+not).  ``--check`` is the CI perf gate: it times the quick workload in both
+modes and fails only when *two* signals regress more than
+``--tolerance`` (default 20%) against the median prior quick record with
+the same result hash — the absolute fast-mode seconds *and* the
+fast/reference speedup ratio.  The ratio is measured within one
+invocation, so machine-wide slow phases (which swing absolute
+wall-clock by tens of percent) cancel out of it; requiring both
+signals makes the gate insensitive to shared-runner noise while still
+tripping on genuine fast-path regressions.  A changed workload or
+result hash never gates against a stale baseline.
+``--workers N`` forwards to ``REPRO_WORKERS`` (the parallel stream
+analyzer) and is recorded alongside the cache-model tier so trajectory
+records are attributable to their configuration.
 """
 
 from __future__ import annotations
@@ -31,6 +47,7 @@ import argparse
 import hashlib
 import json
 import os
+import statistics
 import subprocess
 import sys
 import time
@@ -66,7 +83,7 @@ def _result_hash(obj) -> str:
 def run_workload(spec) -> dict:
     from repro.bench import fig7_overall, fig4_throughput_sweep, sweep_config
     from repro.graph import load_dataset
-    from repro.perf import PERF
+    from repro.perf import PERF, cache_model_mode, fastpath_enabled, workers
 
     # Dataset construction is not what this harness measures.
     for name in set(spec["fig7_datasets"]) | set(spec["fig12_datasets"]):
@@ -83,6 +100,13 @@ def run_workload(spec) -> dict:
         tuned=True,
     )
     seconds = time.perf_counter() - t0
+    # Test hook for the --check gate: scale the measured wall-clock as
+    # if the fast path had slowed down (the simulated numbers, and hence
+    # the result hash, are untouched).  Reference-mode timings stay
+    # honest so the gate's fast/reference ratio signal drops too.
+    inject = float(os.environ.get("REPRO_BENCH_INJECT_SLOWDOWN", "0"))
+    if inject and fastpath_enabled():
+        seconds *= 1.0 + inject
 
     results = {
         "fig7": {
@@ -104,6 +128,8 @@ def run_workload(spec) -> dict:
     return {
         "seconds": round(seconds, 3),
         "result_hash": _result_hash(results),
+        "workers": workers(),
+        "cache_model_mode": cache_model_mode(),
         "perf_seconds": {k: round(v, 3) for k, v in secs.items()},
         # Compile-once/run-many split: time spent in the staged plan
         # pipeline vs. executing compiled plans through the simulator.
@@ -123,7 +149,9 @@ def run_workload(spec) -> dict:
 # Driver
 # ----------------------------------------------------------------------
 
-def _run_mode(mode: str, quick: bool) -> dict:
+def _run_mode(
+    mode: str, quick: bool, workers: int = 0, repeats: int = 1
+) -> dict:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in [os.path.join(ROOT, "src"), env.get("PYTHONPATH")] if p
@@ -131,22 +159,153 @@ def _run_mode(mode: str, quick: bool) -> dict:
     flag = "0" if mode == "reference" else "1"
     env["REPRO_FASTPATH"] = flag
     env["REPRO_KERNEL_MEMO"] = flag
+    if workers:
+        env["REPRO_WORKERS"] = str(workers)
+    # Pin glibc's mmap/trim thresholds so large transient arrays are not
+    # returned to the kernel between workload stages; page faults on
+    # re-touch otherwise add multi-percent run-to-run noise.  Applied to
+    # both modes, so the speedup ratio is unaffected.
+    env.setdefault("MALLOC_MMAP_THRESHOLD_", "1073741824")
+    env.setdefault("MALLOC_TRIM_THRESHOLD_", "1073741824")
     args = [sys.executable, os.path.abspath(__file__), "--worker", mode]
     if quick:
         args.append("--quick")
-    proc = subprocess.run(
-        args, env=env, capture_output=True, text=True, check=False
-    )
-    if proc.returncode != 0:
-        sys.stderr.write(proc.stdout + proc.stderr)
-        raise SystemExit(f"{mode} worker failed ({proc.returncode})")
-    return json.loads(proc.stdout.splitlines()[-1])
+
+    def one_run() -> dict:
+        proc = subprocess.run(
+            args, env=env, capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise SystemExit(f"{mode} worker failed ({proc.returncode})")
+        return json.loads(proc.stdout.splitlines()[-1])
+
+    if repeats <= 1:
+        return one_run()
+    one_run()  # warmup: page caches, imports, native build
+    runs = [one_run() for _ in range(repeats)]
+    hashes = {r["result_hash"] for r in runs}
+    if len(hashes) != 1:
+        raise SystemExit(
+            f"FAIL: {mode} result hash unstable across repeats: {hashes}"
+        )
+    runs.sort(key=lambda r: r["seconds"])
+    median = runs[len(runs) // 2]
+    median["seconds_runs"] = [r["seconds"] for r in runs]
+    return median
+
+
+def _comparable(trajectory: list, record: dict, field: str) -> list:
+    """Prior records gate-comparable to ``record`` carrying ``field``.
+
+    Only records with the same workload *and* result hash compare (a
+    changed workload or simulator output resets the trajectory).
+    """
+    return [
+        r for r in trajectory
+        if r.get("workload") == record.get("workload")
+        and r.get("result_hash") == record.get("result_hash")
+        and r.get(field)
+    ]
+
+
+def check_regression(
+    trajectory: list, record: dict, tolerance: float = 0.20
+) -> str | None:
+    """Absolute-time signal: compare against the median prior record.
+
+    The median, not the best: the best record is by definition the
+    luckiest machine phase ever seen, and gating against a running
+    minimum ratchets ever tighter until honest runs fail.  Returns an
+    error message on regression beyond ``tolerance``, ``None`` when
+    this signal passes.
+    """
+    baselines = _comparable(trajectory, record, "fast_seconds")
+    if not baselines:
+        return None
+    base = statistics.median(r["fast_seconds"] for r in baselines)
+    current = record["fast_seconds"]
+    if current > base * (1.0 + tolerance):
+        return (
+            f"perf gate: fast {record.get('workload')} workload took "
+            f"{current:.2f}s, more than {1 + tolerance:.2f}x the median "
+            f"prior record ({base:.2f}s)"
+        )
+    return None
+
+
+def check_speedup_regression(
+    trajectory: list, record: dict, tolerance: float = 0.20
+) -> str | None:
+    """Ratio signal: fast/reference speedup vs the median prior record.
+
+    Both modes run back to back in one invocation, so a machine-wide
+    slow phase largely cancels out of the ratio — it only drops when
+    the fast path itself regressed relative to the references.
+    """
+    baselines = _comparable(trajectory, record, "speedup")
+    if not baselines or not record.get("speedup"):
+        return None
+    base = statistics.median(r["speedup"] for r in baselines)
+    current = record["speedup"]
+    if current * (1.0 + tolerance) < base:
+        return (
+            f"perf gate: {record.get('workload')} speedup {current:.2f}x "
+            f"fell more than {1 + tolerance:.2f}x below the median "
+            f"prior record ({base:.2f}x)"
+        )
+    return None
+
+
+def gate_verdict(
+    trajectory: list, record: dict, tolerance: float = 0.20
+) -> str | None:
+    """Two-signal CI gate: absolute seconds flag, the ratio confirms.
+
+    Wall-clock on shared runners swings tens of percent between machine
+    phases with no code change, so an absolute-time regression alone is
+    ambiguous.  The gate fails only when the phase-immune speedup ratio
+    regressed too; if no prior record carries a comparable ratio, the
+    absolute signal decides alone.
+    """
+    time_error = check_regression(trajectory, record, tolerance)
+    if time_error is None:
+        return None
+    if _comparable(trajectory, record, "speedup") and record.get("speedup"):
+        ratio_error = check_speedup_regression(trajectory, record, tolerance)
+        if ratio_error is None:
+            return None  # machine phase, not a code regression
+        return f"{time_error}; {ratio_error}"
+    return time_error
+
+
+def _load_trajectory(path: str) -> list:
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (ValueError, OSError):
+        return []
 
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true",
                     help="small workload for CI smoke runs")
+    ap.add_argument("--check", action="store_true",
+                    help="CI perf gate: time the quick workload in both "
+                         "modes and fail when BOTH the fast-mode "
+                         "seconds and the fast/reference speedup "
+                         "regress beyond --tolerance vs the best prior "
+                         "quick record (implies --quick; does not "
+                         "append a record)")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional regression for --check "
+                         "(default 0.20)")
+    ap.add_argument("--workers", type=int, default=0,
+                    help="REPRO_WORKERS for the measured workers "
+                         "(0 = inherit environment)")
     ap.add_argument("--worker", choices=["reference", "fast"],
                     help=argparse.SUPPRESS)
     ap.add_argument("--output", default=TRAJECTORY,
@@ -158,14 +317,21 @@ def main() -> None:
         print(json.dumps(run_workload(spec)))
         return
 
-    quick = ns.quick
+    quick = ns.quick or ns.check
+    # Median-of-3 for the quick workload (noise floor on shared
+    # runners); REPRO_BENCH_REPEATS overrides for tests and local use.
+    repeats = int(os.environ.get(
+        "REPRO_BENCH_REPEATS", "3" if quick else "1"
+    ))
     print(f"workload: {'quick' if quick else 'full'}")
-    fast = _run_mode("fast", quick)
+    fast = _run_mode("fast", quick, workers=ns.workers, repeats=repeats)
     print(f"fast:      {fast['seconds']:8.2f}s  "
           f"memo hit rate {fast['kernel_memo_hit_rate']:.2f}  "
           f"(plan {fast['plan_seconds']:.2f}s / "
           f"run {fast['run_seconds']:.2f}s)")
-    ref = _run_mode("reference", quick)
+
+    ref = _run_mode("reference", quick, workers=ns.workers,
+                    repeats=repeats)
     print(f"reference: {ref['seconds']:8.2f}s")
 
     if ref["result_hash"] != fast["result_hash"]:
@@ -174,6 +340,24 @@ def main() -> None:
             f"({fast['result_hash']} vs {ref['result_hash']})"
         )
     speedup = ref["seconds"] / max(fast["seconds"], 1e-9)
+
+    if ns.check:
+        record = {
+            "workload": "quick",
+            "fast_seconds": fast["seconds"],
+            "speedup": round(speedup, 2),
+            "result_hash": fast["result_hash"],
+        }
+        error = gate_verdict(
+            _load_trajectory(ns.output), record, ns.tolerance
+        )
+        print(f"measured:  {fast['seconds']:.3f}s  "
+              f"hash {fast['result_hash']}")
+        print(f"speedup:   {speedup:8.2f}x")
+        if error:
+            raise SystemExit(f"FAIL: {error}")
+        print(f"perf gate: pass (tolerance {ns.tolerance:.0%})")
+        return
     print(f"speedup:   {speedup:8.2f}x  (results identical: "
           f"{ref['result_hash']})")
 
@@ -184,6 +368,8 @@ def main() -> None:
         "fast_seconds": fast["seconds"],
         "speedup": round(speedup, 2),
         "result_hash": ref["result_hash"],
+        "workers": fast.get("workers", 1),
+        "cache_model_mode": fast.get("cache_model_mode", "exact"),
         "kernel_memo_hit_rate": fast["kernel_memo_hit_rate"],
         "stream_cache_hits": fast["stream_cache_hits"],
         "plan_seconds": fast["plan_seconds"],
@@ -192,13 +378,9 @@ def main() -> None:
         "plan_cache_misses": fast["plan_cache_misses"],
         "fast_perf_seconds": fast["perf_seconds"],
     }
-    trajectory = []
-    if os.path.exists(ns.output):
-        try:
-            with open(ns.output) as fh:
-                trajectory = json.load(fh)
-        except (ValueError, OSError):
-            trajectory = []
+    if "seconds_runs" in fast:
+        record["fast_seconds_runs"] = fast["seconds_runs"]
+    trajectory = _load_trajectory(ns.output)
     trajectory.append(record)
     with open(ns.output, "w") as fh:
         json.dump(trajectory, fh, indent=2)

@@ -72,15 +72,24 @@ class ExecLayout:
         return ExecLayout(grouping=identity_grouping(graph))
 
     def block_permutation(self) -> Optional[np.ndarray]:
-        """Permutation of group-blocks implied by the center order."""
+        """Permutation of group-blocks implied by the center order.
+
+        Memoized per instance: lowering applies the same layout to
+        every kernel of a pass, and a stable long-lived permutation
+        array also lets the content-digest identity cache skip
+        re-hashing it downstream.
+        """
         if self.center_order is None:
             return None
+        cached = self.__dict__.get("_block_perm")
+        if cached is not None:
+            return cached
         n = self.center_order.shape[0]
         rank = np.empty(n, dtype=np.int64)
         rank[self.center_order] = np.arange(n)
-        return np.argsort(
-            rank[self.grouping.group_center], kind="stable"
-        )
+        perm = np.argsort(rank[self.grouping.group_center], kind="stable")
+        object.__setattr__(self, "_block_perm", perm)
+        return perm
 
 
 def effective_row_bytes(

@@ -131,14 +131,30 @@ def _batched_minima(
 def signature_similarity(
     sig: MinHashSignature, u: np.ndarray, v: np.ndarray
 ) -> np.ndarray:
-    """Estimated Jaccard similarity for node-id pairs (vectorized)."""
+    """Estimated Jaccard similarity for node-id pairs (vectorized).
+
+    Gathers rows of the transposed signature matrix — one contiguous
+    ``num_hashes``-wide cache line run per node — instead of strided
+    columns of the ``[H, N]`` layout; the compared values (and thus the
+    match-count means) are identical either way.
+    """
     u = np.asarray(u, dtype=np.int64)
     v = np.asarray(v, dtype=np.int64)
-    eq = sig.matrix[:, u] == sig.matrix[:, v]
-    est = eq.mean(axis=0)
+    rows = _rows_cache(sig)
+    eq = rows[u] == rows[v]
+    est = eq.mean(axis=1)
     # Two empty sets are defined as similarity 0 (nothing to co-schedule).
     both_empty = sig.empty[u] & sig.empty[v]
     return np.where(both_empty, 0.0, est)
+
+
+def _rows_cache(sig: MinHashSignature) -> np.ndarray:
+    """Row-major (``[N, H]``) view of a signature, cached per instance."""
+    rows = getattr(sig, "_rows", None)
+    if rows is None:
+        rows = np.ascontiguousarray(sig.matrix.T)
+        object.__setattr__(sig, "_rows", rows)
+    return rows
 
 
 def exact_jaccard(graph: CSRGraph, u: int, v: int) -> float:

@@ -15,9 +15,11 @@ graph; a stale artifact (graph changed) is detected and recomputed.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import json
 import logging
 import os
+import uuid
 from typing import Optional
 
 import numpy as np
@@ -42,6 +44,19 @@ __all__ = [
 ]
 
 logger = logging.getLogger(__name__)
+
+#: Per-process counter for temp-file names.  The pid alone is not a
+#: unique suffix: two threads of one process, or pid-recycled processes
+#: on a shared cache directory (containers commonly restart at pid 1),
+#: can collide mid-write.  pid + counter + a random token cannot.
+_TMP_COUNTER = itertools.count()
+
+
+def _tmp_path(path: str) -> str:
+    return (
+        f"{path}.tmp.{os.getpid()}."
+        f"{next(_TMP_COUNTER)}.{uuid.uuid4().hex[:8]}"
+    )
 
 
 def graph_fingerprint(graph: CSRGraph) -> str:
@@ -202,16 +217,29 @@ def save_kernel_stats(path: str, stats: KernelStats) -> None:
     Written atomically (rename) so concurrent suite processes sharing a
     cache directory never observe a torn file.
     """
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
     payload = dataclasses.asdict(stats)
     # JSON object keys are strings; occupancy thresholds are floats.
     payload["occupancy"] = {
         str(k): v for k, v in stats.occupancy.items()
     }
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w") as fh:
-        json.dump(payload, fh)
-    os.replace(tmp, path)
+    tmp = _tmp_path(path)
+    try:
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except OSError as exc:
+        # The disk tier is an optimization; a full or read-only cache
+        # directory must not fail the simulation that produced the stats.
+        logger.warning(
+            "could not persist kernel stats to %s (%s: %s)",
+            path, type(exc).__name__, exc,
+        )
+        if os.path.exists(tmp):
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
 
 
 def load_kernel_stats(path: str) -> Optional[KernelStats]:
@@ -234,7 +262,8 @@ def load_kernel_stats(path: str) -> Optional[KernelStats]:
             )
             return None
         return KernelStats(**payload)
-    except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+    except (OSError, KeyError, ValueError, TypeError,
+            json.JSONDecodeError) as exc:
         logger.warning(
             "corrupt kernel-stats artifact %s (%s: %s); resimulating",
             path, type(exc).__name__, exc,
@@ -389,7 +418,7 @@ def save_plan(path: str, plan) -> None:
     arrays["meta"] = np.frombuffer(
         json.dumps(meta, default=str).encode(), dtype=np.uint8
     )
-    tmp = f"{path}.tmp.{os.getpid()}"
+    tmp = _tmp_path(path)
     try:
         np.savez_compressed(tmp, **arrays)
         # np.savez appends .npz to paths without the suffix.

@@ -31,6 +31,8 @@ from typing import List, Optional
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..gpusim import _native
+from ..perf import fastpath_enabled
 from .minhash import (
     MinHashSignature,
     lsh_candidate_pairs,
@@ -113,21 +115,55 @@ def _merge_pairs(
     if pairs.shape[0] > cap:
         top = np.argsort(-sims, kind="stable")[:cap]
         pairs, sims = pairs[top], sims[top]
-    # Max-heap by similarity; ties broken by node ids for determinism.
-    heap: List[tuple] = [
-        (-float(s), int(u), int(v))
-        for (u, v), s in zip(pairs.tolist(), sims.tolist())
-    ]
-    heapq.heapify(heap)
-    seen = set()
+    # The candidate pairs are static: instead of heapifying hundreds of
+    # thousands of Python tuples, walk them in heap order — descending
+    # similarity, ties by (u, v) — and keep a real heap only for the few
+    # re-paired representatives pushed during the merge.  The combined
+    # pop sequence is exactly the single-heap order.
+    order = np.lexsort((pairs[:, 1], pairs[:, 0], -sims))
     # Scalar re-pair similarity: row-contiguous signature matrix makes the
     # per-pair compare two tiny slices instead of a full
     # signature_similarity call (same count/num_hashes float, bit for bit).
     sig_rows = np.ascontiguousarray(sig.matrix.T)
     empty = sig.empty
     num_hashes = sig_rows.shape[1]
-    while heap:
-        neg_s, u, v = heapq.heappop(heap)
+    if fastpath_enabled() and _native.available():
+        # The merge is a sequential pop-loop — the native port mirrors
+        # it operation for operation (same double comparisons, same
+        # count/num_hashes division), so the partition is identical.
+        negs = np.ascontiguousarray(-sims[order])
+        sorted_pairs = np.ascontiguousarray(pairs[order])
+        parent = np.arange(num_nodes, dtype=np.int64)
+        psize = np.ones(num_nodes, dtype=np.int64)
+        ok = _native.merge_pairs(
+            negs,
+            np.ascontiguousarray(sorted_pairs[:, 0]),
+            np.ascontiguousarray(sorted_pairs[:, 1]),
+            sig_rows,
+            np.ascontiguousarray(empty, dtype=np.uint8),
+            max_cluster, min_similarity, parent, psize,
+        )
+        if ok:
+            dsu = _DSU(0)
+            dsu.parent = parent
+            dsu.size = psize
+            return dsu
+    neg_sorted = (-sims[order]).tolist()
+    uv_sorted = pairs[order].tolist()
+    npairs = len(neg_sorted)
+    pos = 0
+    heap: List[tuple] = []
+    seen = set()
+    while heap or pos < npairs:
+        if pos >= npairs:
+            neg_s, u, v = heapq.heappop(heap)
+        else:
+            u, v = uv_sorted[pos]
+            neg_s = neg_sorted[pos]
+            if heap and heap[0] < (neg_s, u, v):
+                neg_s, u, v = heapq.heappop(heap)
+            else:
+                pos += 1
         ru, rv = dsu.find(u), dsu.find(v)
         if ru == rv:
             continue
@@ -173,7 +209,15 @@ def locality_aware_schedule(
         sig, bands=bands, pair_window=pair_window, seed=seed + 1
     )
     dsu = _merge_pairs(pairs, sims, n, max_cluster, sig, min_similarity)
-    roots = np.fromiter((dsu.find(v) for v in range(n)), np.int64, n)
+    # Resolve every node's root by iterated whole-array parent gathers
+    # (pointer doubling) instead of N Python ``find`` calls; the fixpoint
+    # is exactly the per-node root.
+    roots = np.asarray(dsu.parent, dtype=np.int64)
+    while True:
+        grand = roots[roots]
+        if np.array_equal(grand, roots):
+            break
+        roots = grand
     # Emit clusters contiguously; order clusters by their smallest member
     # (deterministic) and members by node id within a cluster.
     order = np.lexsort((np.arange(n), roots))

@@ -33,6 +33,8 @@ variants directly.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 import numpy as np
 
 try:  # pragma: no cover - scipy is a declared dependency
@@ -40,12 +42,14 @@ try:  # pragma: no cover - scipy is a declared dependency
 except ImportError:  # pragma: no cover
     _sptools = None
 
-from ..perf import fastpath_enabled
+from ..perf import cache_model_mode, fastpath_enabled
+from . import _native
 
 __all__ = [
     "previous_occurrence",
     "window_hits",
     "window_hits_from_prev",
+    "approx_hits_from_prev",
     "lru_hits",
     "reuse_distances",
     "reuse_distances_from_prev",
@@ -55,14 +59,18 @@ __all__ = [
 ]
 
 
-def _group_by_value(stream: np.ndarray) -> "np.ndarray | None":
+def _group_by_value(
+    stream: np.ndarray,
+) -> "Tuple[np.ndarray, np.ndarray] | None":
     """Stream positions grouped by row id, index-ascending within a group.
 
-    Equivalent to ``np.argsort(stream, kind="stable")`` but O(n): row ids
-    are small non-negative ints, so a counting sort (scipy's C coo->csr
-    row-grouping pass, which is stable and does not merge duplicates)
-    replaces the comparison sort.  Returns ``None`` when the
-    preconditions don't hold and the caller must argsort.
+    The grouped order is equivalent to ``np.argsort(stream,
+    kind="stable")`` but O(n): row ids are small non-negative ints, so a
+    counting sort (scipy's C coo->csr row-grouping pass, which is stable
+    and does not merge duplicates) replaces the comparison sort.  Returns
+    ``(order, indptr)`` where ``indptr[v]:indptr[v+1]`` delimits value
+    ``v``'s group, or ``None`` when the preconditions don't hold and the
+    caller must argsort.
     """
     if _sptools is None or stream.dtype.kind not in "iu":
         return None
@@ -83,7 +91,21 @@ def _group_by_value(stream: np.ndarray) -> "np.ndarray | None":
         nvals, 1, n, rows, cols, np.arange(n, dtype=np.int64),
         indptr, indices, order,
     )
-    return order
+    return order, indptr
+
+
+#: Monotonically growing ``0..n`` ramp shared by the hot masks below —
+#: re-materializing ``np.arange`` per call is measurable at stream scale.
+_RAMP: list = [np.empty(0, dtype=np.int64)]
+
+
+def index_ramp(n: int) -> np.ndarray:
+    """Read-only ``arange(n, dtype=int64)`` backed by a reusable buffer."""
+    buf = _RAMP[0]
+    if buf.shape[0] < n:
+        buf = np.arange(max(n, 2 * buf.shape[0]), dtype=np.int64)
+        _RAMP[0] = buf
+    return buf[:n]
 
 
 def previous_occurrence(stream: np.ndarray) -> np.ndarray:
@@ -97,13 +119,38 @@ def previous_occurrence(stream: np.ndarray) -> np.ndarray:
     n = stream.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.int64)
-    order = _group_by_value(stream) if fastpath_enabled() else None
-    if order is None:
+    if fastpath_enabled() and stream.dtype.kind in "iu" and (
+        _native.available()
+    ):
+        lo = int(stream.min())
+        hi = int(stream.max())
+        if lo >= 0 and hi <= 50_000_000:
+            # Single last-seen-position pass (the textbook O(n)
+            # algorithm, sequential by nature — see _native).  Values are
+            # exact indices, so the output is identical by definition.
+            s64 = np.ascontiguousarray(stream, dtype=np.int64)
+            return _native.prev_occurrence(s64, hi + 1)
+    grouped = _group_by_value(stream) if fastpath_enabled() else None
+    if grouped is None:
         order = np.argsort(stream, kind="stable")
-    sorted_rows = stream[order]
-    prev = np.full(n, -1, dtype=np.int64)
-    same = sorted_rows[1:] == sorted_rows[:-1]
-    prev[order[1:]] = np.where(same, order[:-1], -1)
+        sorted_rows = stream[order]
+        prev = np.full(n, -1, dtype=np.int64)
+        same = sorted_rows[1:] == sorted_rows[:-1]
+        prev[order[1:]] = np.where(same, order[:-1], -1)
+        return prev
+    order, indptr = grouped
+    # Positions ascend within a value group (the counting sort is
+    # stable), so each grouped element's predecessor in ``order`` is its
+    # previous occurrence — except at group starts, which are first
+    # touches.  ``indptr`` gives the group starts directly, replacing the
+    # gather-and-compare of adjacent sorted values.
+    shifted = np.empty(n, dtype=np.int64)
+    shifted[0] = -1
+    shifted[1:] = order[:-1]
+    group_starts = indptr[:-1]
+    shifted[group_starts[group_starts < n]] = -1
+    prev = np.empty(n, dtype=np.int64)
+    prev[order] = shifted
     return prev
 
 
@@ -125,6 +172,33 @@ def estimate_distinct_in_window(
         return 0.0
     starts = np.linspace(0, n - window, num=samples).astype(np.int64)
     stride = max(1, window // max_eval)
+    # ``prev`` may be any integer dtype wide enough for the stream's
+    # positions: the probes only compare elements against window starts
+    # and count, so a narrower dtype (half the memory traffic) produces
+    # bit-identical estimates.  The loop is over ``samples`` (8) starts;
+    # each probe is a strided view, never a materialized gather.  Counts
+    # are exact integers either way, so the native probe is identical.
+    if (
+        fastpath_enabled()
+        and prev.dtype == np.int32
+        and prev.flags.c_contiguous
+        and _native.available()
+    ):
+        # One foreign call covers every sampled start; the native side
+        # performs the same count * stride double additions in the same
+        # order, so the estimate matches the loop below bit for bit.
+        # When the window spans the whole stream the linspace collapses
+        # to identical starts: probe once and scale.  Every term is an
+        # integer-valued double (sums < 2**53), so the regrouped
+        # accumulation is exact and therefore still bit-identical.
+        k = len(starts)
+        if k > 1 and starts[0] == starts[-1]:
+            one = _native.estimate_first_touch(
+                prev, starts[:1], window, stride
+            )
+            return (one * k) / max(k, 1)
+        total = _native.estimate_first_touch(prev, starts, window, stride)
+        return total / max(k, 1)
     total = 0.0
     for t in starts:
         seg = prev[t : t + window : stride]
@@ -136,6 +210,9 @@ def effective_window(
     stream: np.ndarray,
     capacity_rows: int,
     prev: np.ndarray | None = None,
+    samples: int = 8,
+    max_eval: int = 65536,
+    est_cache: "Dict[int, float] | None" = None,
 ) -> int:
     """Largest access-count window whose working set fits in the cache.
 
@@ -143,18 +220,40 @@ def effective_window(
     capacity (distinct rows) into an access-count threshold that adapts
     to the stream's local duplication — hot-hub streams get modest
     windows, community-ordered streams get wide ones.
+
+    ``est_cache`` optionally memoizes D(w) evaluations per window (the
+    estimator is a pure function of ``prev``); callers searching the
+    same stream at several capacities share the expensive full-stream
+    probe.  ``samples``/``max_eval`` tune the estimator's sampling
+    density (the approximate tier coarsens both).
     """
     if prev is None:
         prev = previous_occurrence(np.asarray(stream))
     n = prev.shape[0]
     if n == 0:
         return 0
-    if estimate_distinct_in_window(prev, n) <= capacity_rows:
+    if fastpath_enabled() and n <= np.iinfo(np.int32).max:
+        # Positions fit in int32: probe a narrow copy (comparisons and
+        # counts are dtype-independent, so estimates are bit-identical),
+        # half the memory traffic for both the numpy and native probes.
+        # ``copy=False`` keeps callers' pre-narrowed arrays as-is.
+        prev = prev.astype(np.int32, copy=False)
+
+    def estimate(w: int) -> float:
+        if est_cache is None:
+            return estimate_distinct_in_window(prev, w, samples, max_eval)
+        val = est_cache.get(w)
+        if val is None:
+            val = estimate_distinct_in_window(prev, w, samples, max_eval)
+            est_cache[w] = val
+        return val
+
+    if estimate(n) <= capacity_rows:
         return n
     lo, hi = max(1, capacity_rows), n
     while hi - lo > max(16, lo // 8):
         mid = (lo + hi) // 2
-        if estimate_distinct_in_window(prev, mid) <= capacity_rows:
+        if estimate(mid) <= capacity_rows:
             lo = mid
         else:
             hi = mid
@@ -170,8 +269,22 @@ def window_hits_from_prev(
         return np.zeros(0, dtype=bool)
     if window is None:
         window = effective_window(None, capacity_rows, prev=prev)
+    w = max(window, 1)
+    if fastpath_enabled():
+        # prev >= 0 and (i - prev) <= w  <=>  prev >= max(i - w, 0):
+        # one comparison against a fused threshold ramp instead of four
+        # stream-length temporaries (or a single native pass).
+        if (
+            prev.dtype == np.int64
+            and prev.flags.c_contiguous
+            and _native.available()
+        ):
+            return _native.window_mask(prev, int(w))
+        thresh = index_ramp(n) - np.int64(w)
+        np.maximum(thresh, 0, out=thresh)
+        return prev >= thresh
     gap = np.arange(n, dtype=np.int64) - prev
-    return (prev >= 0) & (gap <= max(window, 1))
+    return (prev >= 0) & (gap <= w)
 
 
 def window_hits(
@@ -188,6 +301,40 @@ def window_hits(
     if stream.shape[0] == 0:
         return np.zeros(0, dtype=bool)
     prev = previous_occurrence(stream)
+    return window_hits_from_prev(prev, capacity_rows, window=window)
+
+
+#: Sampling density of the approximate tier (``REPRO_CACHE_MODEL=approx``).
+#: Fewer window samples and coarser strides than the exact-mode defaults
+#: (8 / 65536); tests bound the resulting hit-rate error (see
+#: DESIGN.md §12 — |approx − exact LRU| <= 0.12 absolute hit rate on
+#: randomized streams, typically well under 0.05).
+APPROX_SAMPLES = 4
+APPROX_MAX_EVAL = 4096
+
+
+def approx_hits_from_prev(
+    prev: np.ndarray,
+    capacity_rows: int,
+    est_cache: "Dict[int, float] | None" = None,
+) -> np.ndarray:
+    """Sampled set-window estimate of the LRU hit mask (approximate tier).
+
+    Replaces exact wavelet-tree stack distances with Denning's
+    working-set inversion evaluated at reduced sampling density: find the
+    access-count window whose estimated working set matches the cache
+    capacity, then call every access with a same-row gap inside that
+    window a hit.  Near-linear time, no O(n log n) passes; the error
+    contract is validated in ``tests/test_cache_approx.py``.
+    """
+    window = effective_window(
+        None,
+        capacity_rows,
+        prev=prev,
+        samples=APPROX_SAMPLES,
+        max_eval=APPROX_MAX_EVAL,
+        est_cache=est_cache,
+    )
     return window_hits_from_prev(prev, capacity_rows, window=window)
 
 
@@ -333,7 +480,20 @@ def lru_hits(stream: np.ndarray, capacity_rows: int) -> np.ndarray:
 def hit_mask(
     stream: np.ndarray, capacity_rows: int, model: str = "window"
 ) -> np.ndarray:
-    """Dispatch between the window and exact LRU models."""
+    """Dispatch between the window and exact LRU models.
+
+    When the approximate tier is opted in
+    (``REPRO_CACHE_MODEL=approx``), both models resolve to the sampled
+    set-window estimator — ``exact`` stays the default, so results are
+    bit-identical unless a caller explicitly switches modes.
+    """
+    if cache_model_mode() == "approx":
+        stream = np.asarray(stream)
+        if stream.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        return approx_hits_from_prev(
+            previous_occurrence(stream), capacity_rows
+        )
     if model == "window":
         return window_hits(stream, capacity_rows)
     if model == "lru":

@@ -38,18 +38,28 @@ from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
-from ..perf import PERF, fastpath_enabled, memo_enabled
+from ..perf import (
+    PERF,
+    cache_model_mode,
+    fastpath_enabled,
+    memo_enabled,
+    workers,
+)
 from .cache import (
+    approx_hits_from_prev,
     effective_window,
     hit_mask,
+    index_ramp,
     previous_occurrence,
     reuse_distances_from_prev,
     window_hits_from_prev,
 )
+from . import _native
 from .config import GPUConfig
 from .kernel import KernelSpec
 from .memo import (
     KERNEL_MEMO,
+    PERM_CACHE,
     PLAN_MEMO,
     STREAM_CACHE,
     StreamPlan,
@@ -81,10 +91,6 @@ def interleaved_order(
     """
     lengths = np.diff(row_ptr)
     total = int(row_ptr[-1])
-    block_of = np.repeat(
-        np.arange(lengths.shape[0], dtype=np.int64), lengths
-    )
-    offset = np.arange(total, dtype=np.int64) - row_ptr[:-1][block_of]
     # Time-aware interleave: each slot consumes one row per tick, blocks
     # claim the earliest-free slot in issue order (rows as the clock).  A
     # hub block therefore overlaps the *thousands* of short tasks that
@@ -92,16 +98,36 @@ def interleaved_order(
     # describes — while grouped/clustered layouts keep co-issued blocks
     # co-resident.
     starts, _ = _list_schedule(lengths.astype(np.float64), num_slots)
-    tick = starts[block_of] + offset
     if fastpath_enabled() and total < (1 << 30):
         # One radix argsort instead of a three-key lexsort.  ``tick`` is
         # integer-valued (sums of integer lengths) and < 2*total, so
         # ``(tick << 31) | offset`` fits int64 and orders by
         # (tick, offset); a *stable* sort breaks remaining ties by array
         # index, which within a fixed offset increases with block id —
-        # exactly lexsort's (tick, offset, block) order.
-        key = (tick.astype(np.int64) << 31) + offset
+        # exactly lexsort's (tick, offset, block) order.  Natively the
+        # sort itself disappears: ticks and offsets are small ints, so
+        # two stable counting passes produce the same permutation with
+        # no comparison sort at all.
+        if _native.available() and total:
+            return _native.interleave_order(
+                np.ascontiguousarray(row_ptr, dtype=np.int64), starts
+            )
+        block_of = np.repeat(
+            np.arange(lengths.shape[0], dtype=np.int64), lengths
+        )
+        offset = row_ptr[:-1].astype(np.int64, copy=False)[block_of]
+        np.subtract(index_ramp(total), offset, out=offset)
+        tick = starts[block_of]
+        tick += offset
+        key = tick.astype(np.int64)
+        key <<= 31
+        key += offset
         return np.argsort(key, kind="stable")
+    block_of = np.repeat(
+        np.arange(lengths.shape[0], dtype=np.int64), lengths
+    )
+    offset = np.arange(total, dtype=np.int64) - row_ptr[:-1][block_of]
+    tick = starts[block_of] + offset
     return np.lexsort((block_of, offset, tick))
 
 
@@ -110,21 +136,37 @@ def interleaved_order(
 # ----------------------------------------------------------------------
 
 def _stream_plan(
-    row_ptr: np.ndarray, row_ids: np.ndarray, num_slots: int
+    row_ptr: np.ndarray,
+    row_ids: np.ndarray,
+    num_slots: int,
+    key: tuple | None = None,
 ) -> StreamPlan:
     """Issue permutation + previous-occurrence array for one stream.
 
     Keyed by stream *content*, so every kernel sharing a block layout and
     row stream (tuner rounds at different feature lengths, ablation
     variants, repeated layers) reuses the argsort-heavy analysis.
+    Callers holding long-lived parent arrays may pass a precomputed
+    ``key`` so repeat lookups never re-hash sliced views.
     """
-    key = None
     if memo_enabled():
-        key = (array_digest(row_ptr), array_digest(row_ids), num_slots)
+        if key is None:
+            key = (array_digest(row_ptr), array_digest(row_ids), num_slots)
         plan = STREAM_CACHE.get(key)
         if plan is not None:
             return plan
-    perm = interleaved_order(row_ptr, num_slots)
+        # The issue permutation depends only on the block layout, never
+        # on the row stream, so streams that differ only in their rows
+        # (tuner rounds reshaping features over one layout) share the
+        # argsort under a second, layout-only key.
+        perm_key = (array_digest(row_ptr), num_slots)
+        perm = PERM_CACHE.get(perm_key)
+        if perm is None:
+            perm = interleaved_order(row_ptr, num_slots)
+            PERM_CACHE.put(perm_key, perm, nbytes=perm.nbytes)
+    else:
+        key = None
+        perm = interleaved_order(row_ptr, num_slots)
     prev = previous_occurrence(row_ids[perm])
     plan = StreamPlan(perm=perm, prev=prev)
     if key is not None:
@@ -136,11 +178,30 @@ def _plan_hits(
     plan: StreamPlan, capacity: int, model: str
 ) -> np.ndarray:
     """Hit mask (in permuted order) from a cached stream analysis."""
+    mode = cache_model_mode()
+    if mode == "approx":
+        return approx_hits_from_prev(
+            plan.prev, capacity,
+            est_cache=plan.distinct.setdefault("approx", {}),
+        )
     if model == "window":
-        window = plan.windows.get(capacity)
+        window = plan.windows.get((capacity, mode))
         if window is None:
-            window = effective_window(None, capacity, prev=plan.prev)
-            plan.windows[capacity] = window
+            prev = plan.prev
+            if (
+                fastpath_enabled()
+                and prev.shape[0] <= np.iinfo(np.int32).max
+            ):
+                # The window searches at each probed capacity share one
+                # narrow copy (estimates are dtype-independent).
+                if plan.prev32 is None:
+                    plan.prev32 = prev.astype(np.int32)
+                prev = plan.prev32
+            window = effective_window(
+                None, capacity, prev=prev,
+                est_cache=plan.distinct.setdefault(mode, {}),
+            )
+            plan.windows[(capacity, mode)] = window
         return window_hits_from_prev(plan.prev, capacity, window=window)
     if model == "lru":
         if plan.lru_distances is None:
@@ -173,7 +234,19 @@ def _row_hit_counts(
         sub_ptr = row_ptr[: cut_block + 1]
         sub_ids = row_ids[:cut]
         if use_plan:
-            plan = _stream_plan(sub_ptr, sub_ids, slots)
+            # Key by the *parent* arrays (long-lived, so their digests
+            # are identity-cached) plus the cut, not by the fresh prefix
+            # views — repeat lookups then cost zero hashing.
+            key = None
+            if memo_enabled():
+                key = (
+                    "prefix",
+                    array_digest(row_ptr),
+                    array_digest(row_ids),
+                    cut_block,
+                    slots,
+                )
+            plan = _stream_plan(sub_ptr, sub_ids, slots, key=key)
             hits_win = _plan_hits(plan, capacity, config.cache_model)
         else:
             perm = interleaved_order(sub_ptr, slots)
@@ -190,15 +263,24 @@ def _row_hit_counts(
         hits_sorted = hit_mask(row_ids[perm], capacity, config.cache_model)
     hits = np.empty_like(hits_sorted)
     hits[perm] = hits_sorted
-    # Aggregate hits per block. reduceat needs non-empty rows handled.
-    counts = np.zeros(b, dtype=np.float64)
-    lengths = np.diff(row_ptr)
-    nonempty = lengths > 0
-    if nonempty.any():
-        red = np.add.reduceat(
-            hits.astype(np.int64), row_ptr[:-1][nonempty]
-        )
-        counts[nonempty] = red
+    if fastpath_enabled():
+        # Per-block hit counts as prefix-sum differences: one cumsum
+        # pass, empty blocks fall out as zero-width differences.  The
+        # sums are exact integers, identical to the reduceat below.
+        cs = np.zeros(hits.shape[0] + 1, dtype=np.int64)
+        np.cumsum(hits, dtype=np.int64, out=cs[1:])
+        counts = (cs[row_ptr[1:]] - cs[row_ptr[:-1]]).astype(np.float64)
+    else:
+        # Aggregate hits per block. reduceat needs non-empty rows
+        # handled.
+        counts = np.zeros(b, dtype=np.float64)
+        lengths = np.diff(row_ptr)
+        nonempty = lengths > 0
+        if nonempty.any():
+            red = np.add.reduceat(
+                hits.astype(np.int64), row_ptr[:-1][nonempty]
+            )
+            counts[nonempty] = red
     rate = float(hits.mean()) if hits.size else 0.0
     return counts, rate
 
@@ -260,6 +342,121 @@ def _list_schedule_reference(
     return starts, ends
 
 
+def _const_run_schedule(
+    free: np.ndarray,
+    dstar: float,
+    count: int,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    base: int,
+) -> Tuple[np.ndarray, int]:
+    """Greedy-schedule ``count`` blocks of equal duration, vectorized.
+
+    With one duration ``dstar``, each slot's successive free times form a
+    chain ``F[j], F[j]+d, (F[j]+d)+d, ...`` and the heap's pops are
+    exactly the ``count`` smallest chain values, taken ascending: the pop
+    sequence is nondecreasing, every push lands at ``pop + d`` >= the
+    pop, and deeper chain values only grow — so the heap's frontier min
+    is always the global min of the remaining chain multiset.  Chains
+    are materialized with ``np.add.accumulate`` down the level axis,
+    which performs the same left-associated float additions the heap
+    would, so every start/end is bit-identical, not just equal.
+
+    Fills ``starts``/``ends`` from ``base`` and returns the new sorted
+    free multiset plus the number of blocks left unscheduled (non-zero
+    only on the defensive no-progress bail).
+    """
+    k = free.shape[0]
+    if dstar == 0.0:
+        # Zero-length blocks: pop the min, push it straight back.
+        v = free[0]
+        starts[base : base + count] = v
+        ends[base : base + count] = v
+        return free, 0
+    F = free
+    pos = 0
+    rem = count
+    while rem > 0:
+        chunk = min(rem, 32768)
+        # Horizon heuristic: chains whose current head lies within the
+        # batch's value reach participate; the rest stay frozen behind
+        # the cap.  Only batch *sizing* depends on this — correctness
+        # comes from the cap below.
+        level0 = max(1, chunk // k)
+        m = int(np.searchsorted(F, F[0] + (level0 + 1) * dstar, "right"))
+        m = max(1, min(m, k))
+        levels = max(1, chunk // m)
+        M = np.empty((levels + 1, m))
+        M[0] = F[:m]
+        M[1:] = dstar
+        np.add.accumulate(M, axis=0, out=M)
+        # No value >= cap may be popped yet: frozen chains (>= F[m]) and
+        # unbuilt levels (>= M[levels, 0], the smallest level-``levels``
+        # value since float addition is monotone) could still undercut.
+        cap = M[levels, 0] if m >= k else min(F[m], M[levels, 0])
+        flat = M[:levels].reshape(-1)
+        order = np.argsort(flat, kind="stable")
+        vals = flat[order]
+        p = min(int(np.searchsorted(vals, cap, "left")), rem)
+        if p <= 0:  # cannot happen (F[0] < cap); guard the loop anyway
+            break
+        sl = slice(base + pos, base + pos + p)
+        starts[sl] = vals[:p]
+        np.add(vals[:p], dstar, out=ends[sl])
+        # Popped cells form a prefix of each chain: advance each head to
+        # its first unpopped level and re-sort the frontier.
+        cnt = np.bincount(order[:p] % m, minlength=m)
+        heads = M[cnt, np.arange(m)]
+        if m < k:
+            F = np.concatenate([heads, F[m:]])
+            F.sort()
+        else:
+            F = np.sort(heads)
+        pos += p
+        rem -= p
+    return F, rem
+
+
+def _heap_run(
+    durations: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    lo: int,
+    hi: int,
+    free: np.ndarray,
+) -> np.ndarray:
+    """Greedy-schedule ``durations[lo:hi]`` through the heap.
+
+    ``free`` is the live multiset of slot free times (any order, not
+    mutated); the new multiset is returned sorted ascending.  Uses the
+    compiled scheduler when available — a binary min-heap pops the same
+    multiset minima whatever its internal layout, and the C loop runs
+    the identical ``end = start + duration`` additions, so both lanes
+    are bit-identical to :func:`_list_schedule_reference`.
+    """
+    if _native.available():
+        heap = free.copy()
+        _native.greedy_schedule(
+            np.ascontiguousarray(durations[lo:hi]), heap,
+            starts[lo:hi], ends[lo:hi],
+        )
+        return np.sort(heap)
+    heap = free.tolist()
+    heapq.heapify(heap)
+    push, pop = heapq.heappush, heapq.heappop
+    out_s = []
+    out_e = []
+    for d in durations[lo:hi].tolist():
+        s = pop(heap)
+        out_s.append(s)
+        e = s + d
+        out_e.append(e)
+        push(heap, e)
+    starts[lo:hi] = out_s
+    ends[lo:hi] = out_e
+    return np.sort(np.asarray(heap))
+
+
 def _wave_schedule(
     durations: np.ndarray, slots: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -279,24 +476,59 @@ def _wave_schedule(
     starts = np.empty(b)
     ends = np.empty(b)
     free = np.zeros(slots)  # sorted ascending
+    # Run map: GNN duration streams are dominated by long stretches of
+    # one repeated value (degree-bound blocks sharing flop/byte/hit
+    # counts), which the constant-duration lane schedules in bulk.
+    run_min = 4 * slots
+    bounds = np.flatnonzero(durations[1:] != durations[:-1]) + 1
+    run_starts = np.concatenate(([0], bounds))
+    run_ends = np.concatenate((bounds, [b]))
+    big = run_ends - run_starts >= run_min
+    big_starts = run_starts[big]
+    big_ends = run_ends[big]
+    nbig = big_starts.shape[0]
+    bi = 0  # index of the first big run not fully behind ``i``
     i = 0
+    # Windowed accept-rate statistics: duration streams routinely switch
+    # regime (an irregular size-class mix up front, a near-uniform tail
+    # behind it), so the decision to fall back to the heap must not be
+    # sticky — a bounded heap burst clears the irregular region, then
+    # the vectorized wave path gets a fresh chance.
+    win_base = 0
     accepted = 0
     while i < b:
-        if i >= 8 * slots and accepted < i // 2:
-            # Genuinely irregular duration mix: the vectorized prefix
-            # keeps collapsing, so per-wave numpy overhead exceeds the
-            # heap's.  Finish the whole remainder there (same float
-            # additions, so still bit-identical).
-            heap = free.tolist()
-            heapq.heapify(heap)
-            push, pop = heapq.heappush, heapq.heappop
-            for j in range(i, b):
-                s = pop(heap)
-                starts[j] = s
-                e = s + durations[j]
-                ends[j] = e
-                push(heap, e)
-            return starts, ends
+        while bi < nbig and big_ends[bi] <= i:
+            bi += 1
+        if (
+            bi < nbig
+            and big_starts[bi] <= i
+            and big_ends[bi] - i >= run_min
+        ):
+            stop = int(big_ends[bi])
+            free, left = _const_run_schedule(
+                free, float(durations[i]), stop - i, starts, ends, i
+            )
+            i = stop - left
+            win_base = i
+            accepted = 0
+            continue
+        if i - win_base >= 8 * slots and accepted < (i - win_base) // 2:
+            # Irregular duration mix: the vectorized prefix keeps
+            # collapsing, so per-wave numpy overhead exceeds the heap's.
+            # Burn through a bounded window with the heap — a wide one
+            # when the compiled loop is carrying it.
+            burst = (256 if _native.available() else 16) * slots
+            stop = min(b, i + burst)
+            if bi < nbig and big_starts[bi] > i:
+                # Leave upcoming constant runs to the vectorized lane.
+                stop = min(stop, int(big_starts[bi]))
+            free = _heap_run(durations, starts, ends, i, stop, free)
+            i = stop
+            if i == b:
+                return starts, ends
+            win_base = i
+            accepted = 0
+            continue
         c = min(slots, b - i)
         d = durations[i : i + c]
         fc = free[:c]
@@ -309,17 +541,9 @@ def _wave_schedule(
         accepted += m
         if m < c:
             # Irregular tail of this wave (e.g. a hub slot still busy):
-            # finish it with the reference heap over the live multiset.
-            heap = np.concatenate([free[m:], new_ends[:m]]).tolist()
-            heapq.heapify(heap)
-            push, pop = heapq.heappush, heapq.heappop
-            for j in range(i + m, i + c):
-                s = pop(heap)
-                starts[j] = s
-                e = s + durations[j]
-                ends[j] = e
-                push(heap, e)
-            free = np.sort(np.asarray(heap))
+            # finish it with the heap over the live multiset.
+            live = np.concatenate([free[m:], new_ends[:m]])
+            free = _heap_run(durations, starts, ends, i + m, i + c, live)
         elif c == slots:
             free = np.sort(new_ends)
         else:  # final partial wave: free times no longer needed
@@ -429,8 +653,20 @@ def simulate_kernels(
     """
     snap = PERF.snapshot()
     report = RunReport(label=label, peak_mem_bytes=peak_mem_bytes)
-    for k in kernels:
-        report.add(simulate_kernel(k, config, dispatch_overhead))
+    kernels = list(kernels)
+    n_workers = workers()
+    parallel_info = None
+    if n_workers > 1 and len(kernels) > 1:
+        from .parallel import simulate_kernels_parallel
+
+        stats_list, parallel_info = simulate_kernels_parallel(
+            kernels, config, dispatch_overhead, n_workers
+        )
+        for stats in stats_list:
+            report.add(stats)
+    else:
+        for k in kernels:
+            report.add(simulate_kernel(k, config, dispatch_overhead))
     delta = PERF.delta_since(snap)
     counts = delta.get("counts", {})
     hits = counts.get("kernel_memo_hit", 0)
@@ -447,6 +683,8 @@ def simulate_kernels(
         "stream_cache_misses": counts.get("stream_cache_miss", 0),
         "memo": memo_stats(),
     }
+    if parallel_info is not None:
+        report.extra["perf"]["parallel"] = parallel_info
     return report
 
 
@@ -467,7 +705,12 @@ def simulate_plan(plan, config: GPUConfig | None = None) -> RunReport:
             peak_mem_bytes=plan.peak_mem_bytes,
             dispatch_overhead=plan.dispatch_overhead,
         )
-    key = (plan.plan_id, dataclasses.astuple(cfg), plan.dispatch_overhead)
+    key = (
+        plan.plan_id,
+        dataclasses.astuple(cfg),
+        plan.dispatch_overhead,
+        cache_model_mode(),
+    )
     cached = PLAN_MEMO.get(key)
     if cached is not None:
         report = RunReport(

@@ -26,6 +26,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..perf import memo_enabled
+from .memo import REORDER_CACHE, array_digest
+
 __all__ = ["KernelDataflow", "KernelSpec", "strict_mode"]
 
 
@@ -226,16 +229,39 @@ class KernelSpec:
         if self.row_ptr is None:
             row_ptr, row_ids = None, None
         else:
-            lengths = np.diff(self.row_ptr)[block_perm]
-            row_ptr = np.zeros(self.num_blocks + 1, dtype=np.int64)
-            np.cumsum(lengths, out=row_ptr[1:])
-            total = int(row_ptr[-1])
-            starts = self.row_ptr[:-1][block_perm]
-            # Ragged gather: absolute source index of every row entry.
-            offsets = np.arange(total, dtype=np.int64) - np.repeat(
-                row_ptr[:-1], lengths
-            )
-            row_ids = self.row_ids[np.repeat(starts, lengths) + offsets]
+            row_ptr = row_ids = None
+            key = None
+            if memo_enabled():
+                # The ragged gather below is the most expensive lowering
+                # step on large graphs, and layouts re-apply the same
+                # permutation to the same stream once per feature length
+                # / ablation variant — cache it by content.
+                key = (
+                    array_digest(self.row_ptr),
+                    array_digest(self.row_ids),
+                    array_digest(block_perm),
+                )
+                cached = REORDER_CACHE.get(key)
+                if cached is not None:
+                    row_ptr, row_ids = cached
+            if row_ptr is None:
+                lengths = np.diff(self.row_ptr)[block_perm]
+                row_ptr = np.zeros(self.num_blocks + 1, dtype=np.int64)
+                np.cumsum(lengths, out=row_ptr[1:])
+                total = int(row_ptr[-1])
+                starts = self.row_ptr[:-1][block_perm]
+                # Ragged gather: absolute source index of every row
+                # entry, as one repeat of per-block shifts plus the
+                # entry's own destination position.
+                shift = np.repeat(starts - row_ptr[:-1], lengths)
+                row_ids = self.row_ids[
+                    shift + np.arange(total, dtype=np.int64)
+                ]
+                if key is not None:
+                    REORDER_CACHE.put(
+                        key, (row_ptr, row_ids),
+                        nbytes=row_ptr.nbytes + row_ids.nbytes,
+                    )
         return KernelSpec(
             name=self.name,
             block_flops=self.block_flops[block_perm],

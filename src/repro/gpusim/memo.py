@@ -38,7 +38,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..perf import PERF
+from ..perf import PERF, cache_model_mode
 from .metrics import KernelStats
 
 __all__ = [
@@ -49,6 +49,7 @@ __all__ = [
     "STREAM_CACHE",
     "KERNEL_MEMO",
     "PLAN_MEMO",
+    "REORDER_CACHE",
     "clear_caches",
     "memo_stats",
 ]
@@ -63,6 +64,24 @@ __all__ = [
 #: caches fall into after garbage collection).
 _DIGESTS: Dict[int, Tuple[weakref.ref, bytes]] = {}
 _DIGEST_SWEEP_AT = 4096
+
+#: id(config) -> (config, repr) — ``dataclasses.astuple`` walks the whole
+#: frozen config on every call, which dominates fingerprinting of
+#: memo-warm kernels.  Configs are tiny and few; the strong reference
+#: keeps each id valid for the lifetime of its entry.
+_CONFIG_REPRS: Dict[int, Tuple[object, str]] = {}
+
+
+def _config_repr(config) -> str:
+    key = id(config)
+    entry = _CONFIG_REPRS.get(key)
+    if entry is not None and entry[0] is config:
+        return entry[1]
+    text = repr(dataclasses.astuple(config))
+    if len(_CONFIG_REPRS) > 64:
+        _CONFIG_REPRS.clear()
+    _CONFIG_REPRS[key] = (config, text)
+    return text
 
 
 def array_digest(arr: Optional[np.ndarray]) -> bytes:
@@ -164,8 +183,19 @@ class StreamPlan:
 
     perm: np.ndarray
     prev: np.ndarray
-    windows: Dict[int, int] = dataclasses.field(default_factory=dict)
+    #: (capacity, cache-model mode) -> effective window.
+    windows: Dict[Tuple[int, str], int] = dataclasses.field(
+        default_factory=dict
+    )
     lru_distances: Optional[np.ndarray] = None
+    #: mode -> {window -> D(w) estimate}; shared across the capacities
+    #: probed against the same stream (the full-stream probe dominates).
+    distinct: Dict[str, Dict[int, float]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Narrow copy of ``prev`` for the window-search probes (estimates
+    #: are dtype-independent); built once per stream, not per search.
+    prev32: Optional[np.ndarray] = None
 
     @property
     def nbytes(self) -> int:
@@ -192,6 +222,27 @@ STREAM_CACHE = LRUCache(
     max_entries=256,
     max_bytes=_env_bytes("REPRO_STREAM_CACHE_BYTES", 512 * 1024 * 1024),
     name="stream_cache",
+)
+
+#: Reordered ragged row streams, keyed by
+#: ``(row_ptr, row_ids, permutation)`` content.  Locality-aware layouts
+#: re-apply the same block permutation to the same stream once per
+#: feature length / ablation variant; the gather is the single most
+#: expensive lowering step on the large datasets.
+REORDER_CACHE = LRUCache(
+    max_entries=64,
+    max_bytes=_env_bytes("REPRO_REORDER_CACHE_BYTES", 256 * 1024 * 1024),
+    name="reorder_cache",
+)
+
+#: Issue permutations keyed by ``(row_ptr, num_slots)`` content only —
+#: streams that differ in their rows but share a block layout (tuner
+#: rounds at different feature lengths) reuse the argsort.  A separate
+#: tier so the perm arrays never evict full stream analyses.
+PERM_CACHE = LRUCache(
+    max_entries=64,
+    max_bytes=_env_bytes("REPRO_PERM_CACHE_BYTES", 128 * 1024 * 1024),
+    name="perm_cache",
 )
 
 
@@ -237,8 +288,11 @@ class KernelMemo:
                 kernel.row_bytes,
                 kernel.counts_launch,
                 kernel.tag,
-                dataclasses.astuple(config),
+                _config_repr(config),
                 dispatch_overhead,
+                # The cache-model tier changes simulated numbers, so
+                # exact and approx results must never share an entry.
+                cache_model_mode(),
             )).encode()
         )
         return h.hexdigest()
@@ -302,4 +356,6 @@ def memo_stats() -> Dict[str, object]:
         "stream_cache_entries": len(STREAM_CACHE),
         "stream_cache_bytes": STREAM_CACHE.nbytes,
         "stream_cache_hit_rate": PERF.memo_hit_rate("stream_cache"),
+        "perm_cache_entries": len(PERM_CACHE),
+        "perm_cache_hit_rate": PERF.memo_hit_rate("perm_cache"),
     }

@@ -1,0 +1,115 @@
+"""Approximate cache tier (``REPRO_CACHE_MODEL=approx``) contract tests.
+
+The approximate tier trades exactness for near-linear time; these tests
+pin down the two sides of that trade:
+
+* **Accuracy** — the sampled set-window hit *rate* stays within 0.12
+  absolute of exact LRU on randomized streams (DESIGN.md §12), and the
+  two tiers never drift structurally (same mask length/dtype).
+* **Opt-in** — ``exact`` is the default and its results are
+  bit-identical with the tier machinery present; only an explicit
+  ``configure(cache_model="approx")`` (or the env var) switches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.cache import (
+    approx_hits_from_prev,
+    hit_mask,
+    lru_hits,
+    previous_occurrence,
+    window_hits,
+)
+from repro.perf import cache_model_mode, configure
+
+
+@pytest.fixture(autouse=True)
+def _restore_mode():
+    yield
+    configure(cache_model="env")
+
+
+def _streams():
+    """Randomized streams covering the regimes the simulator produces."""
+    rng = np.random.default_rng(7)
+    out = []
+    # Uniform random rows: low locality.
+    out.append(rng.integers(0, 400, size=4000))
+    # Zipf-like hub-heavy traffic: high duplication.
+    ranks = rng.zipf(1.3, size=4000) % 500
+    out.append(ranks.astype(np.int64))
+    # Community-ordered: runs of nearby rows (post-scheduling shape).
+    base = np.repeat(rng.integers(0, 80, size=200), 20)
+    out.append(base + rng.integers(0, 8, size=base.shape[0]))
+    # Short stream, capacity larger than distinct rows.
+    out.append(rng.integers(0, 30, size=256))
+    return out
+
+
+class TestApproxAccuracy:
+    def test_hit_rate_close_to_exact_lru(self):
+        """|approx − exact LRU| <= 0.12 absolute hit rate (DESIGN §12)."""
+        for stream in _streams():
+            for capacity in (32, 128, 512):
+                exact = lru_hits(stream, capacity).mean()
+                prev = previous_occurrence(stream)
+                approx = approx_hits_from_prev(prev, capacity).mean()
+                assert abs(approx - exact) <= 0.12, (
+                    f"capacity={capacity}: approx {approx:.3f} vs "
+                    f"exact {exact:.3f}"
+                )
+
+    def test_mask_shape_and_dtype(self):
+        stream = np.random.default_rng(0).integers(0, 50, size=500)
+        prev = previous_occurrence(stream)
+        mask = approx_hits_from_prev(prev, 64)
+        assert mask.shape == stream.shape
+        assert mask.dtype == np.bool_
+
+    def test_est_cache_shared_between_calls(self):
+        """Passing an estimate cache does not change the mask."""
+        stream = np.random.default_rng(1).integers(0, 200, size=2000)
+        prev = previous_occurrence(stream)
+        cold = approx_hits_from_prev(prev, 128)
+        cache = {}
+        warm1 = approx_hits_from_prev(prev, 128, est_cache=cache)
+        warm2 = approx_hits_from_prev(prev, 128, est_cache=cache)
+        assert np.array_equal(cold, warm1)
+        assert np.array_equal(warm1, warm2)
+        assert cache  # the shared cache was actually populated
+
+
+class TestExactDefault:
+    def test_default_mode_is_exact(self):
+        assert cache_model_mode() == "exact"
+
+    def test_exact_mode_bit_identical_to_window_model(self):
+        """With the tier present but not opted in, results are unchanged."""
+        stream = np.random.default_rng(2).integers(0, 300, size=3000)
+        expected = window_hits(stream, 128)
+        assert np.array_equal(hit_mask(stream, 128), expected)
+
+    def test_approx_is_opt_in(self):
+        stream = np.random.default_rng(3).integers(0, 300, size=3000)
+        exact_mask = hit_mask(stream, 64)
+        configure(cache_model="approx")
+        assert cache_model_mode() == "approx"
+        approx_mask = hit_mask(stream, 64)
+        configure(cache_model="env")
+        # Opting back out restores the exact mask bit for bit.
+        assert np.array_equal(hit_mask(stream, 64), exact_mask)
+        assert approx_mask.shape == exact_mask.shape
+
+    def test_approx_dispatch_matches_direct_call(self):
+        stream = np.random.default_rng(4).integers(0, 100, size=1000)
+        configure(cache_model="approx")
+        via_dispatch = hit_mask(stream, 48)
+        direct = approx_hits_from_prev(
+            previous_occurrence(stream), 48
+        )
+        assert np.array_equal(via_dispatch, direct)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            configure(cache_model="fuzzy")

@@ -1,0 +1,153 @@
+"""Parallel kernel-stream simulation (``REPRO_WORKERS``) tests.
+
+The process-pool path must be invisible in the results: simulating a
+kernel sequence with N workers returns the same :class:`KernelStats`,
+in the same order, as the serial loop — worker scheduling can shift
+wall-clock, never numbers.  The observability dict and the hardened
+disk memo tier are covered here too.
+"""
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.gpusim import KernelSpec, V100, simulate_kernels
+from repro.gpusim.memo import KERNEL_MEMO, clear_caches
+from repro.core.persistence import load_kernel_stats, save_kernel_stats
+from repro.perf import configure, workers
+
+
+@pytest.fixture(autouse=True)
+def _restore():
+    clear_caches()
+    yield
+    configure(fastpath="env", memo="env", workers="env")
+    KERNEL_MEMO.set_disk_dir(os.environ.get("REPRO_KERNEL_CACHE_DIR"))
+    clear_caches()
+
+
+def _kernel_suite(num=12, seed=0):
+    rng = np.random.default_rng(seed)
+    kernels = []
+    for i in range(num):
+        n_blocks = int(rng.integers(20, 80))
+        lengths = rng.integers(1, 30, size=n_blocks)
+        ptr = np.zeros(n_blocks + 1, dtype=np.int64)
+        np.cumsum(lengths, out=ptr[1:])
+        kernels.append(KernelSpec(
+            f"k{i}",
+            block_flops=lengths * 2.0,
+            row_ptr=ptr,
+            row_ids=rng.integers(0, 600, size=int(ptr[-1])),
+            row_bytes=128,
+            stream_bytes=lengths * 4.0,
+        ))
+    return kernels
+
+
+def _stats_tuple(stats):
+    d = dataclasses.asdict(stats)
+    d["occupancy"] = sorted(d["occupancy"].items())
+    return d
+
+
+class TestParallelIdentity:
+    def test_workers4_bit_identical_to_serial(self):
+        kernels = _kernel_suite()
+        configure(workers=1)
+        serial = simulate_kernels(kernels, V100, label="serial")
+        clear_caches()
+        configure(workers=4)
+        parallel = simulate_kernels(kernels, V100, label="parallel")
+        assert len(serial.kernels) == len(parallel.kernels)
+        for s, p in zip(serial.kernels, parallel.kernels):
+            assert _stats_tuple(s) == _stats_tuple(p)
+
+    def test_single_kernel_stays_serial(self):
+        kernels = _kernel_suite(num=1)
+        configure(workers=4)
+        report = simulate_kernels(kernels, V100)
+        assert "parallel" not in report.extra["perf"]
+
+    def test_workers_env_parsing(self, monkeypatch):
+        configure(workers="env")
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert workers() == 4
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        assert workers() == 1
+
+
+class TestParallelObservability:
+    def test_report_carries_pool_counters(self):
+        kernels = _kernel_suite()
+        configure(workers=2)
+        report = simulate_kernels(kernels, V100)
+        info = report.extra["perf"].get("parallel")
+        assert info is not None
+        if info.get("fallback") == "serial":
+            pytest.skip("process pool unavailable on this platform")
+        assert info["workers"] == 2
+        for key in (
+            "cold_kernels",
+            "deduped_kernels",
+            "pool_wall_seconds",
+            "worker_busy_seconds",
+            "pool_utilization",
+        ):
+            assert key in info
+        assert info["cold_kernels"] >= 1
+        assert len(info["worker_busy_seconds"]) <= 2
+
+
+class TestDiskTierHardening:
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        kernels = _kernel_suite(num=2)
+        KERNEL_MEMO.set_disk_dir(str(tmp_path))
+        report = simulate_kernels(kernels, V100)
+        files = sorted(tmp_path.glob("kstats_*.json"))
+        assert files
+        # Corrupt every persisted entry in a different way.
+        files[0].write_text("{ not json")
+        if len(files) > 1:
+            files[1].write_text(json.dumps({"wrong": "fields"}))
+        clear_caches()
+        rerun = simulate_kernels(kernels, V100)
+        for a, b in zip(report.kernels, rerun.kernels):
+            assert _stats_tuple(a) == _stats_tuple(b)
+
+    def test_load_tolerates_unreadable_file(self, tmp_path):
+        path = tmp_path / "kstats_x.json"
+        path.write_text("{}")
+        path.chmod(0o000)
+        try:
+            if path.stat().st_uid == 0 and os.geteuid() == 0:
+                pytest.skip("running as root: chmod cannot revoke read")
+            assert load_kernel_stats(str(path)) is None
+        finally:
+            path.chmod(0o644)
+
+    def test_save_tolerates_readonly_dir(self, tmp_path):
+        kernels = _kernel_suite(num=1)
+        configure(workers=1)
+        stats = simulate_kernels(kernels, V100).kernels[0]
+        ro = tmp_path / "ro"
+        ro.mkdir()
+        ro.chmod(0o555)
+        try:
+            if os.geteuid() == 0:
+                pytest.skip("running as root: chmod cannot revoke write")
+            save_kernel_stats(str(ro / "kstats_y.json"), stats)
+        finally:
+            ro.chmod(0o755)
+
+    def test_concurrent_style_tmp_names_unique(self, tmp_path):
+        from repro.core.persistence import _tmp_path
+
+        target = str(tmp_path / "kstats_z.json")
+        names = {_tmp_path(target) for _ in range(64)}
+        assert len(names) == 64
