@@ -1,0 +1,371 @@
+"""Differential verification: execute two fusion plans of one chain
+exactly and demand bit-identical outputs.
+
+The rewrite engine's last line of defence.  The static passes prove
+structural properties; this harness *runs* the original and rewritten
+plans and compares results.  Floating point would defeat the purpose —
+the linear-property postponement reorders a division around a sum, and
+``sum(x_e / c)`` and ``sum(x_e) / c`` differ in the last ulp under
+IEEE — so the interpreter computes over exact rationals
+(:class:`fractions.Fraction`).  Ops without rational semantics get
+rational *surrogates* that preserve the properties the rewrites rely
+on (``exp -> x^2 + 1/4``: positive and non-linear; ``leaky_relu`` with
+slope exactly ``1/5``: piecewise, non-linear).  A legal rewrite is an
+algebraic identity over the rationals, so the two interpretations are
+*equal*, and their float64 renderings are bit-identical; an illegal one
+(stale operand, non-linear op postponed, dropped op) lands on different
+rationals and is rejected.  Whether the *true* IEEE semantics commute
+is a separate property, proven numerically by the linearity pass.
+
+Operand resolution mirrors :func:`repro.analysis.legality.chain_dataflow`
+and the lowering's ``_plan_dataflow`` walk — the same producer trackers,
+the same postponed-op treatment (a postponed op transforms the host
+aggregate's output at center granularity; a postponed BCAST is the
+denominator's carrier and touches nothing).
+
+Verification runs on a small fixed synthetic adjacency
+(:func:`verification_graph`) with seeded small-integer rational inputs:
+exactness does not depend on scale, and a dozen nodes keep Fraction
+arithmetic effectively free inside the fix-point loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.compgraph import FusionPlan, Op, OpKind
+
+__all__ = [
+    "DiffExecUnsupported",
+    "verification_graph",
+    "interpret_plan",
+    "render_output",
+    "differential_verify",
+]
+
+
+class DiffExecUnsupported(RuntimeError):
+    """The chain contains an op the exact interpreter has no rational
+    semantics for — verification cannot vouch for a rewrite of it."""
+
+
+# ----------------------------------------------------------------------
+# Verification graph + seeded exact inputs
+# ----------------------------------------------------------------------
+
+def verification_graph(
+    num_nodes: int = 11,
+) -> Tuple[List[List[int]], int]:
+    """A fixed small adjacency: ``(neighbors per center, num_nodes)``.
+
+    Deterministic, every center has at least one in-edge, degrees vary
+    (including one hub), and several sources repeat across centers —
+    enough structure to distinguish per-edge from per-center rewrites.
+    """
+    adj: List[List[int]] = []
+    for c in range(num_nodes):
+        deg = 1 + (c * 3 + 1) % 4
+        if c == 0:
+            deg = num_nodes - 1  # hub center
+        adj.append([(c * 5 + 2 * k + 1) % num_nodes for k in range(deg)])
+    return adj, num_nodes
+
+
+@dataclasses.dataclass
+class ExactInputs:
+    """Seeded rational inputs of one chain interpretation."""
+
+    features: List[List[Fraction]]          # [N][F]
+    src_score: List[Fraction]               # U_ADD_V's per-source scalar
+    dst_score: List[Fraction]               # U_ADD_V's per-center scalar
+    node_aux: Dict[str, List[Fraction]]     # per-op-name NODE_MAP scale
+    edge_in: List[Fraction]                 # chain input for bare E1 ops
+
+
+def exact_inputs(
+    num_nodes: int,
+    num_edges: int,
+    feat_len: int,
+    node_map_names: Sequence[str],
+) -> ExactInputs:
+    """Deterministic small-integer rationals (no RNG: exactness needs
+    no randomness, and determinism keeps rejects reproducible)."""
+    feats = [
+        [Fraction((i * 7 + j * 3) % 11 - 5, 4) for j in range(feat_len)]
+        for i in range(num_nodes)
+    ]
+    src = [Fraction((i * 5) % 13 - 6, 3) for i in range(num_nodes)]
+    dst = [Fraction((i * 3) % 7 - 3, 2) for i in range(num_nodes)]
+    aux = {
+        name: [
+            Fraction(1 + (i + 2 * k) % 5, 2) for i in range(num_nodes)
+        ]
+        for k, name in enumerate(node_map_names)
+    }
+    edge = [Fraction((e * 7) % 9 - 4, 5) for e in range(num_edges)]
+    return ExactInputs(feats, src, dst, aux, edge)
+
+
+# ----------------------------------------------------------------------
+# Exact interpreter
+# ----------------------------------------------------------------------
+
+_QUARTER = Fraction(1, 4)
+_FIFTH = Fraction(1, 5)
+
+#: Rational surrogates for the shipped edge-map names.  Each preserves
+#: what matters for rewrite verification: non-linearity (so an illegal
+#: postponement changes the result) and, for ``exp``, positivity (so a
+#: downstream segment-sum denominator is never zero).
+_EDGE_MAP_EXACT = {
+    "exp": lambda x: x * x + _QUARTER,
+    "leaky_relu": lambda x: x if x > 0 else x * _FIFTH,
+    "relu": lambda x: x if x > 0 else Fraction(0),
+}
+
+#: NODE_MAP names interpreted as multiplication by a per-node scale.
+_NODE_SCALE_NAMES = {"norm_src", "norm_dst", "scale"}
+
+
+def interpret_plan(
+    plan: FusionPlan,
+    adj: List[List[int]],
+    inputs: ExactInputs,
+) -> List[List[Fraction]]:
+    """Execute a fusion plan exactly; returns the final value.
+
+    Output is normalized to a per-center matrix: ``[N][F]`` for NF
+    results, ``[N][1]`` for a trailing reduction, ``[E][1]`` rendered
+    per edge for a trailing edge value — whatever the chain's last
+    non-postponed op produces (after its group's postponed epilogue).
+    """
+    edges: List[Tuple[int, int]] = [
+        (c, s) for c, nbrs in enumerate(adj) for s in nbrs
+    ]
+    num_nodes = len(adj)
+    edge_centers = [c for c, _ in edges]
+    edge_sources = [s for _, s in edges]
+
+    # Producer trackers, mirroring chain_dataflow / _plan_dataflow.
+    last_e1: Optional[List[Fraction]] = None
+    last_e1_nonbcast: Optional[List[Fraction]] = None
+    last_bcast: Optional[List[Fraction]] = None
+    last_reduce: Optional[List[Fraction]] = None
+    last_nf: Optional[List[List[Fraction]]] = None
+    bcast_after_reduce = False  # which denominator EDGE_DIV sees
+    final: Optional[object] = None
+    final_shape = ""
+
+    def edge_value() -> List[Fraction]:
+        return list(last_e1) if last_e1 is not None else list(
+            inputs.edge_in
+        )
+
+    def nf_value() -> List[List[Fraction]]:
+        src = last_nf if last_nf is not None else inputs.features
+        return [list(row) for row in src]
+
+    for group in plan.groups:
+        group_out_nf: Optional[List[List[Fraction]]] = None
+        for op in group.ops:
+            kind = op.kind
+            if kind == OpKind.U_ADD_V:
+                vals = [
+                    inputs.src_score[s] + inputs.dst_score[c]
+                    for c, s in edges
+                ]
+            elif kind == OpKind.EDGE_MAP:
+                fn = _EDGE_MAP_EXACT.get(op.name)
+                if fn is None:
+                    raise DiffExecUnsupported(
+                        f"edge map {op.name!r} has no exact semantics"
+                    )
+                vals = [fn(x) for x in edge_value()]
+            elif kind == OpKind.SEG_REDUCE:
+                x = edge_value()
+                acc = [Fraction(0)] * num_nodes
+                for e, c in enumerate(edge_centers):
+                    acc[c] += x[e]
+                last_reduce = acc
+                bcast_after_reduce = False
+                final, final_shape = acc, "N1"
+                continue
+            elif kind == OpKind.BCAST:
+                if last_reduce is None:
+                    raise DiffExecUnsupported(
+                        f"{op.name!r} reads a reduction the chain has "
+                        f"not produced"
+                    )
+                vals = [last_reduce[c] for c in edge_centers]
+                last_e1 = vals
+                last_bcast = vals
+                bcast_after_reduce = True
+                final, final_shape = vals, "E1"
+                continue
+            elif kind == OpKind.EDGE_DIV:
+                num = (
+                    list(last_e1_nonbcast)
+                    if last_e1_nonbcast is not None
+                    else list(inputs.edge_in)
+                )
+                if last_bcast is not None and bcast_after_reduce:
+                    denom = list(last_bcast)
+                elif last_reduce is not None:
+                    denom = [last_reduce[c] for c in edge_centers]
+                else:
+                    raise DiffExecUnsupported(
+                        f"{op.name!r} has no denominator to read"
+                    )
+                vals = [x / d for x, d in zip(num, denom)]
+            elif kind == OpKind.AGGREGATE:
+                w = last_e1  # None -> unweighted sum
+                feats = nf_value()
+                feat_len = len(feats[0]) if feats else 0
+                out = [
+                    [Fraction(0)] * feat_len for _ in range(num_nodes)
+                ]
+                for e, (c, s) in enumerate(edges):
+                    we = w[e] if w is not None else Fraction(1)
+                    row = feats[s]
+                    dst_row = out[c]
+                    for j in range(feat_len):
+                        dst_row[j] += we * row[j]
+                last_nf = out
+                group_out_nf = out
+                final, final_shape = out, "NF"
+                continue
+            elif kind == OpKind.NODE_MAP:
+                x = nf_value()
+                if op.name in _NODE_SCALE_NAMES:
+                    aux = inputs.node_aux.get(op.name)
+                    if aux is None:
+                        raise DiffExecUnsupported(
+                            f"node map {op.name!r} has no aux input"
+                        )
+                    out = [
+                        [v * aux[i] for v in row]
+                        for i, row in enumerate(x)
+                    ]
+                elif op.name == "relu":
+                    out = [
+                        [v if v > 0 else Fraction(0) for v in row]
+                        for row in x
+                    ]
+                else:
+                    raise DiffExecUnsupported(
+                        f"node map {op.name!r} has no exact semantics"
+                    )
+                last_nf = out
+                group_out_nf = out
+                final, final_shape = out, "NF"
+                continue
+            else:
+                raise DiffExecUnsupported(
+                    f"op kind {kind} has no exact semantics"
+                )
+            # Common tail for edge-aligned producers.
+            last_e1 = vals
+            last_e1_nonbcast = vals
+            bcast_after_reduce = False
+            final, final_shape = vals, "E1"
+
+        # Postponed epilogue: transform the aggregate output at center
+        # granularity, in listed (chain) order.
+        if group.postponed:
+            if group_out_nf is None:
+                raise DiffExecUnsupported(
+                    "postponed ops in a group without an aggregate "
+                    "output to transform"
+                )
+            for op in group.postponed:
+                if op.kind == OpKind.BCAST:
+                    continue  # the denominator's carrier; no transform
+                if op.kind == OpKind.EDGE_DIV:
+                    if last_reduce is None:
+                        raise DiffExecUnsupported(
+                            "postponed division without a reduction"
+                        )
+                    for c in range(num_nodes):
+                        if not adj[c]:
+                            continue  # no edges -> nothing was divided
+                        d = last_reduce[c]
+                        group_out_nf[c] = [
+                            v / d for v in group_out_nf[c]
+                        ]
+                elif (
+                    op.kind == OpKind.NODE_MAP
+                    and op.name in _NODE_SCALE_NAMES
+                ):
+                    aux = inputs.node_aux[op.name]
+                    for c in range(num_nodes):
+                        group_out_nf[c] = [
+                            v * aux[c] for v in group_out_nf[c]
+                        ]
+                else:
+                    raise DiffExecUnsupported(
+                        f"postponed {op.name!r} has no center-"
+                        f"granularity semantics"
+                    )
+            last_nf = group_out_nf
+            final, final_shape = group_out_nf, "NF"
+
+    if final is None:
+        raise DiffExecUnsupported("empty plan")
+    if final_shape == "NF":
+        return [list(row) for row in final]
+    # Normalize vectors to single-column matrices for uniform compare.
+    return [[v] for v in final]
+
+
+def render_output(exact: List[List[Fraction]]) -> np.ndarray:
+    """Correctly-rounded float64 rendering of an exact result.
+
+    Equal rationals render to bit-identical doubles, which is what
+    makes the ``ForwardResult`` outputs of a verified rewrite
+    byte-for-byte equal.
+    """
+    return np.array(
+        [[float(v) for v in row] for row in exact], dtype=np.float64
+    )
+
+
+def differential_verify(
+    original: FusionPlan,
+    rewritten: FusionPlan,
+    ops: List[Op],
+    feat_len: int = 5,
+) -> Tuple[bool, str]:
+    """Execute both plans exactly; ``(ok, detail)``.
+
+    ``ok`` means the exact results are equal rationals *and* their
+    float64 renderings are byte-identical (the former implies the
+    latter; both are checked so the contract stays visible).  A chain
+    the interpreter cannot model returns ``(False, reason)`` — the
+    engine treats unverifiable as unacceptable.
+    """
+    adj, n = verification_graph()
+    num_edges = sum(len(nbrs) for nbrs in adj)
+    node_maps = [op.name for op in ops if op.kind == OpKind.NODE_MAP]
+    inputs = exact_inputs(n, num_edges, feat_len, node_maps)
+    try:
+        a = interpret_plan(original, adj, inputs)
+        b = interpret_plan(rewritten, adj, inputs)
+    except DiffExecUnsupported as exc:
+        return False, f"unsupported: {exc}"
+    if len(a) != len(b) or any(
+        len(ra) != len(rb) for ra, rb in zip(a, b)
+    ):
+        return False, "outputs differ in shape"
+    for i, (ra, rb) in enumerate(zip(a, b)):
+        for j, (va, vb) in enumerate(zip(ra, rb)):
+            if va != vb:
+                return False, (
+                    f"outputs diverge at [{i}][{j}]: {va} != {vb}"
+                )
+    if render_output(a).tobytes() != render_output(b).tobytes():
+        return False, "float64 renderings are not byte-identical"
+    return True, "exact outputs equal; float64 renderings bit-identical"

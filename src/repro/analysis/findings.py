@@ -42,6 +42,8 @@ __all__ = [
     "make_finding",
     "explain_code",
     "load_baseline",
+    "unused_baseline_entries",
+    "prune_baseline",
     "ERROR",
     "WARNING",
     "INFO",
@@ -162,6 +164,51 @@ def _suppressed(finding: Finding, entries: List[Dict[str, str]]) -> bool:
         and fnmatch.fnmatch(finding.where, entry.get("where", "*"))
         for entry in entries
     )
+
+
+def unused_baseline_entries(
+    entries: List[Dict[str, str]], findings: List[Finding]
+) -> List[Dict[str, str]]:
+    """Baseline entries that suppress nothing in ``findings``.
+
+    A suppression that matches no finding is debt: the underlying issue
+    was fixed (or the ``where`` string drifted) and the pattern now
+    silently weakens the gate against future regressions.  ``repro lint``
+    reports these; ``--prune-baseline`` rewrites the file without them.
+    """
+    return [
+        entry for entry in entries
+        if not any(
+            entry["code"] == f.code
+            and fnmatch.fnmatch(f.where, entry.get("where", "*"))
+            for f in findings
+        )
+    ]
+
+
+def prune_baseline(path: str, findings: List[Finding]) -> int:
+    """Rewrite the baseline at ``path`` without its unused entries.
+
+    Preserves the file's shape (bare list, or a dict whose ``suppress``
+    key holds the entries — any other dict keys, like ``_comment``,
+    survive untouched).  Returns the number of entries removed; the
+    file is rewritten only when at least one is.
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    entries = load_baseline(path)
+    unused = unused_baseline_entries(entries, findings)
+    if not unused:
+        return 0
+    kept = [e for e in entries if e not in unused]
+    if isinstance(payload, dict) and "suppress" in payload:
+        payload = {**payload, "suppress": kept}
+    else:
+        payload = kept
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return len(unused)
 
 
 # ----------------------------------------------------------------------

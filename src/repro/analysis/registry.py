@@ -16,6 +16,14 @@ exposes up to three hooks, one per scope it analyzes:
 * ``artifact(plan, graph, config)`` — whole-:class:`CompiledPlan`
   properties that need the complete kernel stream or the recorded
   peak-memory/stage metadata; run only by ``lint_plan``.
+
+A pass that can also *repair* what it reports exposes a fourth hook,
+``rewrite(ctx)``, returning :class:`RewriteAction` candidates — one per
+advisory finding the pass would emit on the same context, correlated by
+``(code, where)``.  Actions are proposals, never truths: the rewrite
+engine (:mod:`repro.analysis.rewrite`) re-lowers each candidate plan,
+re-runs every registered pass over it, and differentially executes it
+against the original before accepting.
 """
 
 from __future__ import annotations
@@ -30,8 +38,8 @@ from ..gpusim.kernel import KernelSpec
 from ..graph.csr import CSRGraph
 from .findings import Finding
 
-__all__ = ["LintContext", "LintPass", "register_pass", "lint_passes",
-           "pass_names"]
+__all__ = ["LintContext", "LintPass", "RewriteAction", "register_pass",
+           "lint_passes", "pass_names"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,6 +59,23 @@ class LintContext:
 
 
 @dataclasses.dataclass(frozen=True)
+class RewriteAction:
+    """One candidate plan transformation proposed by a pass.
+
+    ``code``/``where`` match the finding the action would fix, exactly
+    as the pass emits them (the rewrite engine correlates the two by
+    string equality).  ``build()`` returns a *new* :class:`FusionPlan`
+    with the transformation applied — the source plan is never mutated,
+    so a rejected candidate costs nothing.
+    """
+
+    code: str
+    where: str
+    description: str
+    build: Callable[[], FusionPlan]
+
+
+@dataclasses.dataclass(frozen=True)
 class LintPass:
     """One registered pass: a name, a one-liner, and its scope hooks."""
 
@@ -61,6 +86,9 @@ class LintPass:
     artifact: Optional[
         Callable[..., List[Finding]]
     ] = None  # (plan, graph, config) -> findings
+    rewrite: Optional[
+        Callable[[LintContext], List["RewriteAction"]]
+    ] = None  # advisory findings -> candidate fixes
 
 
 _PASSES: Dict[str, LintPass] = {}

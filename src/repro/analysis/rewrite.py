@@ -1,0 +1,418 @@
+"""Verified auto-fix engine: close the analyzer -> optimizer loop.
+
+The passes *report* missed optimizations (FP002 redundancy bypass,
+FP003 proven-legal fusion, HB003 removable sync); this module *applies*
+them.  The division of labour is strict:
+
+* a pass's ``rewrite(ctx)`` hook **proposes** — one
+  :class:`~repro.analysis.registry.RewriteAction` per advisory finding,
+  correlated by ``(code, where)``;
+* the engine **verifies** — each candidate plan is re-lowered and every
+  registered pass is re-run over it; a candidate is accepted only if
+  the result has *zero errors and zero warnings* (not "no worse": a
+  fix must leave the plan provably clean, not plausibly so);
+* the differential harness (:mod:`repro.analysis.diffexec`) **executes**
+  both plans over exact rationals and demands bit-identical float64
+  renderings — a structural proof plus a semantic one.
+
+Proposals are allowed to be wrong.  The canonical example: HB003
+proposes postponing the lone-BCAST kernel, legality rejects it (LG006:
+a postponed BCAST needs its postponed consumer), the engine counts a
+reject and moves on; once the consumer's own postponement is accepted,
+the next fix-point iteration re-proposes the BCAST move and it lands.
+The reject *is* the sequencing mechanism — no action ordering logic
+exists anywhere.
+
+Termination: every accepted action deletes exactly one kernel boundary
+(merge) or one group (postpone), so the group count strictly decreases
+and the fix-point loop runs at most ``len(plan.groups)`` accepts; a
+``max_rounds`` guard backstops proposal bugs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.compgraph import FusionPlan, Op
+from ..core.lowering import ExecLayout, lower_plan
+from ..gpusim.config import GPUConfig, V100_SCALED
+from ..gpusim.kernel import KernelSpec
+from ..graph.csr import CSRGraph
+from .diffexec import differential_verify
+from .findings import AnalysisReport, Finding
+from .registry import LintContext, RewriteAction, lint_passes
+
+__all__ = [
+    "FIXABLE_CODES",
+    "AppliedRewrite",
+    "RewriteStats",
+    "AutofixResult",
+    "collect_actions",
+    "plan_signature",
+    "verify_candidate",
+    "autofix_lowering",
+    "autofix_shipped",
+    "AutofixSweep",
+]
+
+#: Finding codes with a registered repair.  Derived at call time from
+#: the rewrite hooks, but named here so the CLI / CI gate can ask "is
+#: this finding *supposed* to be fixable" without running the engine.
+FIXABLE_CODES = ("FP002", "FP003", "HB003")
+
+
+@dataclasses.dataclass(frozen=True)
+class AppliedRewrite:
+    """Provenance of one accepted rewrite (serialized into plan extra)."""
+
+    code: str
+    where: str
+    description: str
+    groups_before: int
+    groups_after: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class RewriteStats:
+    """Engine observability: fed into ``RunReport.extra['perf']``."""
+
+    attempts: int = 0
+    accepts: int = 0
+    rejects: int = 0
+    #: rejects by stage: "build" (action returned no plan),
+    #: "verify" (a pass errored/warned), "diffexec" (outputs diverged).
+    reject_stages: Dict[str, int] = dataclasses.field(default_factory=dict)
+    by_code: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def reject(self, stage: str) -> None:
+        self.rejects += 1
+        self.reject_stages[stage] = self.reject_stages.get(stage, 0) + 1
+
+    def accept(self, code: str) -> None:
+        self.accepts += 1
+        self.by_code[code] = self.by_code.get(code, 0) + 1
+
+    def merge(self, other: "RewriteStats") -> None:
+        self.attempts += other.attempts
+        self.accepts += other.accepts
+        self.rejects += other.rejects
+        for k, v in other.reject_stages.items():
+            self.reject_stages[k] = self.reject_stages.get(k, 0) + v
+        for k, v in other.by_code.items():
+            self.by_code[k] = self.by_code.get(k, 0) + v
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "attempts": self.attempts,
+            "accepts": self.accepts,
+            "rejects": self.rejects,
+            "reject_stages": dict(self.reject_stages),
+            "by_code": dict(self.by_code),
+        }
+
+
+@dataclasses.dataclass
+class AutofixResult:
+    """Outcome of fixing one lowered pipeline."""
+
+    plan: FusionPlan
+    kernels: List[KernelSpec]
+    applied: List[AppliedRewrite]
+    stats: RewriteStats
+    #: findings remaining on the fixed plan (same pass set).
+    remaining: List[Finding]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+def collect_actions(ctx: LintContext) -> List[RewriteAction]:
+    """All candidate fixes the registered passes propose for ``ctx``,
+    in pass-registration order (so FP002's cheap merge is tried before
+    HB003's postponement of the same kernel)."""
+    actions: List[RewriteAction] = []
+    for p in lint_passes():
+        if p.rewrite is not None:
+            actions.extend(p.rewrite(ctx))
+    return actions
+
+
+def plan_signature(plan: FusionPlan) -> Tuple:
+    """Canonical structural identity of a plan (for visited sets)."""
+    return tuple(
+        (
+            tuple(op.name for op in g.ops),
+            tuple(op.name for op in g.postponed),
+        )
+        for g in plan.groups
+    )
+
+
+def _chain_findings(ops: List[Op]) -> List[Finding]:
+    out: List[Finding] = []
+    for p in lint_passes():
+        if p.chain is not None:
+            out.extend(p.chain(list(ops)))
+    return out
+
+
+def verify_candidate(
+    ops: List[Op],
+    original: FusionPlan,
+    candidate: FusionPlan,
+    graph: CSRGraph,
+    feat_len: int,
+    config: GPUConfig,
+    layout: ExecLayout,
+    *,
+    grouped: bool,
+    agg_compute_scale: float = 1.0,
+    agg_uncoalesced: float = 1.0,
+    chain_findings: Optional[List[Finding]] = None,
+) -> Tuple[Optional[List[KernelSpec]], str]:
+    """Full verification of one candidate plan against the original.
+
+    Returns ``(kernels, detail)`` — the candidate's lowering when it
+    passes every registered pass with zero errors *and* zero warnings
+    and is differentially bit-identical to ``original``; otherwise
+    ``(None, reason)``.  ``chain_findings`` lets callers amortize the
+    chain-scope passes (the op chain is invariant under plan rewrites).
+    """
+    from .driver import verify_lowering  # local: driver imports passes
+
+    kernels = lower_plan(
+        candidate, graph, feat_len, config, layout,
+        agg_compute_scale=agg_compute_scale,
+        agg_uncoalesced=agg_uncoalesced,
+    )
+    report = verify_lowering(
+        ops, candidate, kernels, graph, feat_len, config, layout,
+        grouped=grouped, check_linearity=False,
+        agg_compute_scale=agg_compute_scale,
+        agg_uncoalesced=agg_uncoalesced,
+    )
+    findings = list(report.findings)
+    findings.extend(
+        chain_findings if chain_findings is not None
+        else _chain_findings(ops)
+    )
+    blocking = [
+        f for f in findings if f.severity in ("error", "warning")
+    ]
+    if blocking:
+        return None, "; ".join(
+            f"{f.code or f.pass_name}: {f.where}: {f.message}"
+            for f in blocking[:3]
+        )
+    ok, detail = differential_verify(original, candidate, ops)
+    if not ok:
+        return None, f"differential execution: {detail}"
+    return kernels, detail
+
+
+def autofix_lowering(
+    ops: List[Op],
+    plan: FusionPlan,
+    graph: CSRGraph,
+    feat_len: int,
+    config: GPUConfig,
+    layout: ExecLayout,
+    *,
+    grouped: bool,
+    agg_compute_scale: float = 1.0,
+    agg_uncoalesced: float = 1.0,
+    max_rounds: int = 64,
+) -> AutofixResult:
+    """Fix one lowered pipeline to a fix-point.
+
+    Each round lowers the current plan, collects proposals from every
+    pass's ``rewrite`` hook, and tries them in order; the first
+    candidate to survive verification + differential execution is
+    accepted and the round restarts on the fixed plan.  A round with no
+    acceptable candidate is the fix-point.  Differential verification
+    always compares against the *round's* plan — acceptance is
+    transitive over exact equality, so the final plan is bit-identical
+    to the input plan by construction.
+    """
+    stats = RewriteStats()
+    applied: List[AppliedRewrite] = []
+    chain_findings = _chain_findings(ops)
+    current = plan
+    kernels = lower_plan(
+        current, graph, feat_len, config, layout,
+        agg_compute_scale=agg_compute_scale,
+        agg_uncoalesced=agg_uncoalesced,
+    )
+    # A broken chain is not ours to fix: refuse to rewrite anything.
+    if any(f.severity == "error" for f in chain_findings):
+        remaining = _remaining(
+            ops, current, kernels, graph, feat_len, config, layout,
+            grouped=grouped, chain_findings=chain_findings,
+            agg_compute_scale=agg_compute_scale,
+            agg_uncoalesced=agg_uncoalesced,
+        )
+        return AutofixResult(current, kernels, applied, stats, remaining)
+
+    for _ in range(max_rounds):
+        ctx = LintContext(
+            ops=ops, plan=current, kernels=kernels, graph=graph,
+            feat_len=feat_len, config=config, layout=layout,
+            grouped=grouped, agg_compute_scale=agg_compute_scale,
+            agg_uncoalesced=agg_uncoalesced,
+        )
+        accepted = False
+        for action in collect_actions(ctx):
+            stats.attempts += 1
+            candidate = action.build()
+            if candidate is None:
+                stats.reject("build")
+                continue
+            cand_kernels, _ = verify_candidate(
+                ops, current, candidate, graph, feat_len, config,
+                layout, grouped=grouped,
+                agg_compute_scale=agg_compute_scale,
+                agg_uncoalesced=agg_uncoalesced,
+                chain_findings=chain_findings,
+            )
+            if cand_kernels is None:
+                stats.reject("verify")
+                continue
+            applied.append(AppliedRewrite(
+                code=action.code, where=action.where,
+                description=action.description,
+                groups_before=len(current.groups),
+                groups_after=len(candidate.groups),
+            ))
+            stats.accept(action.code)
+            current, kernels = candidate, cand_kernels
+            accepted = True
+            break
+        if not accepted:
+            break
+
+    remaining = _remaining(
+        ops, current, kernels, graph, feat_len, config, layout,
+        grouped=grouped, chain_findings=chain_findings,
+        agg_compute_scale=agg_compute_scale,
+        agg_uncoalesced=agg_uncoalesced,
+    )
+    return AutofixResult(current, kernels, applied, stats, remaining)
+
+
+def _remaining(
+    ops, plan, kernels, graph, feat_len, config, layout, *,
+    grouped, chain_findings, agg_compute_scale=1.0, agg_uncoalesced=1.0,
+) -> List[Finding]:
+    from .driver import verify_lowering
+
+    report = verify_lowering(
+        ops, plan, kernels, graph, feat_len, config, layout,
+        grouped=grouped, check_linearity=False,
+        agg_compute_scale=agg_compute_scale,
+        agg_uncoalesced=agg_uncoalesced,
+    )
+    return list(chain_findings) + list(report.findings)
+
+
+# ----------------------------------------------------------------------
+# Sweep: the ``repro lint --fix`` entry point
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class AutofixSweep:
+    """Auto-fix outcome over the shipped pipeline grid."""
+
+    #: (pipeline label, AutofixResult) per swept pipeline.
+    entries: List[Tuple[str, AutofixResult]] = dataclasses.field(
+        default_factory=list
+    )
+    stats: RewriteStats = dataclasses.field(default_factory=RewriteStats)
+
+    def fixed_lines(self) -> List[str]:
+        lines = []
+        for label, res in self.entries:
+            for ar in res.applied:
+                lines.append(
+                    f"[FIXED  ] {ar.code} {label}: {ar.where}: "
+                    f"{ar.description} "
+                    f"({ar.groups_before} -> {ar.groups_after} groups)"
+                )
+        return lines
+
+    def remaining_report(self, label: str = "lint --fix") -> AnalysisReport:
+        """Findings that survive auto-fix, prefixed like the lint sweep
+        (so baselines written against ``repro lint`` keep matching)."""
+        import dataclasses as _dc
+
+        report = AnalysisReport(label=label)
+        for plabel, res in self.entries:
+            report.checked += 1
+            report.findings.extend(
+                _dc.replace(f, where=f"{plabel}: {f.where}")
+                for f in res.remaining
+            )
+        return report
+
+    def unfixed_fixable(self) -> List[Finding]:
+        """Auto-fixable findings the engine could not discharge — the
+        CI ``autofix-clean`` gate's subject."""
+        return [
+            f for f in self.remaining_report().findings
+            if f.code in FIXABLE_CODES
+        ]
+
+
+def autofix_shipped(
+    dataset_names: Optional[Iterable[str]] = None,
+    models: Optional[Iterable[str]] = None,
+    *,
+    config: Optional[GPUConfig] = None,
+    feats: Optional[Sequence[int]] = None,
+    fusions: Optional[Iterable[str]] = None,
+) -> AutofixSweep:
+    """Run the auto-fix engine over the same grid ``lint_shipped``
+    sweeps (models x datasets x fusion configs x layouts x feats)."""
+    from ..core.adapter import plan_fusion
+    from ..core.grouping import identity_grouping, neighbor_grouping
+    from ..graph.datasets import DATASET_NAMES, load_dataset
+    from .driver import (DEFAULT_FEATS, LINT_NG_BOUND, MODEL_CHAINS,
+                         _select_fusions)
+
+    config = config or V100_SCALED
+    feats = tuple(feats or DEFAULT_FEATS)
+    names = list(dataset_names or DATASET_NAMES)
+    model_list = list(models or MODEL_CHAINS)
+    sweep = AutofixSweep()
+    for name in names:
+        graph = load_dataset(name)
+        layouts = [
+            ("identity", identity_grouping(graph)),
+            ("grouped", neighbor_grouping(graph, LINT_NG_BOUND)),
+        ]
+        for model in model_list:
+            ops = MODEL_CHAINS[model]()
+            for lname, grouping in layouts:
+                grouped = bool(grouping.needs_atomic.any())
+                layout = ExecLayout(grouping=grouping)
+                for cname, adapter, linear in _select_fusions(fusions):
+                    plan = plan_fusion(
+                        ops, allow_adapter=adapter, allow_linear=linear,
+                        grouped=grouped, label=cname,
+                    )
+                    for feat in feats:
+                        label = (
+                            f"{model}:{graph.name or 'graph'}:{cname}:"
+                            f"{lname}:F{feat}"
+                        )
+                        res = autofix_lowering(
+                            ops, plan, graph, feat, config, layout,
+                            grouped=grouped,
+                        )
+                        sweep.entries.append((label, res))
+                        sweep.stats.merge(res.stats)
+    return sweep

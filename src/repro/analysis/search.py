@@ -1,0 +1,334 @@
+"""Footprint-guided plan search: the analyses as an optimizer's oracle.
+
+The rewrite engine (:mod:`repro.analysis.rewrite`) is greedy — it takes
+the first verified fix and repeats.  This module searches: a beam over
+the space of plans reachable through the passes' own rewrite proposals
+(merge a boundary, postpone a group), scored by the symbolic N/E/F
+footprint the footprint pass already computes.  The move generator and
+the scoring function are both *reused analyses* — the search adds no
+new judgment about legality or cost, only enumeration:
+
+* **moves** — each candidate's proposals come from the registered
+  ``rewrite`` hooks run on its own lowering, so the frontier only ever
+  contains transformations some pass argued for;
+* **verification** — every expanded candidate must pass all registered
+  passes with zero errors/warnings *and* execute bit-identically to the
+  **root** plan (not its parent: exactness is transitive, but verifying
+  against the root keeps the guarantee independent of the path);
+* **score** — lexicographic ``(peak symbolic footprint bytes evaluated
+  on the plan's graph, kernel count, total flops)``: smaller is better.
+  The footprint dominates (the paper's memory story), launches break
+  ties, flops catch pathological rewrites that trade neither.
+
+``optimize_plan`` applies the search to a :class:`CompiledPlan`
+artifact layer by layer, re-lowers improved layers with the layer's own
+recorded layout/scales, rebuilds the kernel stream, stamps provenance
+into ``plan.extra`` and re-lints the rebuilt artifact before returning
+it — an optimized plan that fails its own lint gate is discarded in
+favour of the original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.compgraph import FusionPlan, Op
+from ..core.lowering import ExecLayout, lower_plan
+from ..gpusim.config import GPUConfig
+from ..gpusim.kernel import KernelSpec
+from ..graph.csr import CSRGraph
+from .footprint import layer_footprint
+from .registry import LintContext
+from .rewrite import (AppliedRewrite, RewriteStats, collect_actions,
+                      plan_signature, verify_candidate)
+
+__all__ = [
+    "PlanScore",
+    "SearchResult",
+    "score_lowering",
+    "search_plan",
+    "optimize_plan",
+]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class PlanScore:
+    """Lexicographic plan cost: smaller is better on every axis."""
+
+    peak_bytes: float     # symbolic footprint peak, evaluated on graph
+    num_kernels: int
+    total_flops: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "peak_bytes": float(self.peak_bytes),
+            "num_kernels": int(self.num_kernels),
+            "total_flops": float(self.total_flops),
+        }
+
+
+@dataclasses.dataclass
+class SearchResult:
+    """Outcome of one layer's beam search."""
+
+    plan: FusionPlan
+    kernels: List[KernelSpec]
+    score: PlanScore
+    original_score: PlanScore
+    applied: List[AppliedRewrite]
+    stats: RewriteStats
+    nodes_expanded: int = 0
+
+    @property
+    def improved(self) -> bool:
+        return self.score < self.original_score
+
+
+def score_lowering(
+    plan: FusionPlan,
+    kernels: List[KernelSpec],
+    graph: CSRGraph,
+    feat_len: int,
+) -> PlanScore:
+    """Score one lowering: symbolic peak bytes, launches, flops."""
+    n, e = graph.num_nodes, graph.num_edges
+    live = layer_footprint(plan, kernels)
+    if live is None:
+        peak = float("inf")  # unanalyzable lowering never wins
+    else:
+        peak = max(
+            expr.evaluate(n, e, feat_len) for _, expr in live
+        )
+    flops = float(sum(float(np.sum(k.block_flops)) for k in kernels))
+    return PlanScore(peak, len(kernels), flops)
+
+
+def search_plan(
+    ops: List[Op],
+    plan: FusionPlan,
+    graph: CSRGraph,
+    feat_len: int,
+    config: GPUConfig,
+    layout: ExecLayout,
+    *,
+    grouped: bool,
+    agg_compute_scale: float = 1.0,
+    agg_uncoalesced: float = 1.0,
+    beam_width: int = 4,
+    max_nodes: int = 64,
+) -> SearchResult:
+    """Beam search over pass-proposed rewrites of one layer's plan.
+
+    The beam holds ``(score, plan, kernels, applied)`` states; each
+    round expands every state's verified successors and keeps the best
+    ``beam_width`` *new* states (a visited set on the structural plan
+    signature prevents re-expansion — merge/postpone sequences commute
+    and would otherwise be re-verified factorially often).  Search ends
+    when a round adds no new state or ``max_nodes`` candidates have
+    been expanded; the best state ever seen wins.
+    """
+    stats = RewriteStats()
+    kernels = lower_plan(
+        plan, graph, feat_len, config, layout,
+        agg_compute_scale=agg_compute_scale,
+        agg_uncoalesced=agg_uncoalesced,
+    )
+    root_score = score_lowering(plan, kernels, graph, feat_len)
+    best: Tuple[PlanScore, FusionPlan, List[KernelSpec], List[AppliedRewrite]]
+    best = (root_score, plan, kernels, [])
+    beam = [best]
+    visited = {plan_signature(plan)}
+    nodes = 0
+
+    while beam and nodes < max_nodes:
+        frontier: List[Tuple[PlanScore, FusionPlan, List[KernelSpec],
+                             List[AppliedRewrite]]] = []
+        for score, state, state_kernels, applied in beam:
+            ctx = LintContext(
+                ops=ops, plan=state, kernels=state_kernels,
+                graph=graph, feat_len=feat_len, config=config,
+                layout=layout, grouped=grouped,
+                agg_compute_scale=agg_compute_scale,
+                agg_uncoalesced=agg_uncoalesced,
+            )
+            for action in collect_actions(ctx):
+                if nodes >= max_nodes:
+                    break
+                stats.attempts += 1
+                nodes += 1
+                candidate = action.build()
+                if candidate is None:
+                    stats.reject("build")
+                    continue
+                sig = plan_signature(candidate)
+                if sig in visited:
+                    stats.reject("visited")
+                    continue
+                visited.add(sig)
+                # Verify against the ROOT plan: the guarantee every
+                # accepted state carries is path-independent.
+                cand_kernels, _ = verify_candidate(
+                    ops, plan, candidate, graph, feat_len, config,
+                    layout, grouped=grouped,
+                    agg_compute_scale=agg_compute_scale,
+                    agg_uncoalesced=agg_uncoalesced,
+                )
+                if cand_kernels is None:
+                    stats.reject("verify")
+                    continue
+                stats.accept(action.code)
+                cand_score = score_lowering(
+                    candidate, cand_kernels, graph, feat_len
+                )
+                cand_applied = applied + [AppliedRewrite(
+                    code=action.code, where=action.where,
+                    description=action.description,
+                    groups_before=len(state.groups),
+                    groups_after=len(candidate.groups),
+                )]
+                frontier.append(
+                    (cand_score, candidate, cand_kernels, cand_applied)
+                )
+                if cand_score < best[0]:
+                    best = (
+                        cand_score, candidate, cand_kernels, cand_applied
+                    )
+        frontier.sort(key=lambda s: s[0])
+        beam = frontier[:beam_width]
+
+    score, out_plan, out_kernels, applied = best
+    return SearchResult(
+        plan=out_plan, kernels=out_kernels, score=score,
+        original_score=root_score, applied=applied, stats=stats,
+        nodes_expanded=nodes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Whole-artifact optimization
+# ----------------------------------------------------------------------
+
+def _layer_prefix(kernels: List[KernelSpec]) -> str:
+    """Recover the per-layer buffer/kernel name prefix the original
+    lowering used (e.g. ``"gat0."``) from the stamped dataflow: buffers
+    are ``prefix + op.name`` and op names never contain dots."""
+    for kernel in kernels:
+        if kernel.dataflow is None:
+            continue
+        for buf in kernel.dataflow.writes:
+            if "." in buf:
+                return buf.rsplit(".", 1)[0] + "."
+            return ""
+    return ""
+
+
+def optimize_plan(
+    plan,
+    graph: CSRGraph,
+    *,
+    beam_width: int = 4,
+    max_nodes: int = 64,
+    plan_id: Optional[str] = None,
+):
+    """Search-optimize a :class:`~repro.core.plan.CompiledPlan`.
+
+    Runs :func:`search_plan` over every lintable layer; when at least
+    one layer improves, rebuilds the artifact — re-lowered kernel
+    stream (each layer with its own recorded layout and aggregation
+    scales, under its original name prefix), shifted kernel slices,
+    rewrite provenance in ``extra["rewrites"]`` and search stats in
+    ``extra["optimize"]`` — and re-lints it end to end.  Returns the
+    original object untouched when nothing improves or the rebuilt
+    artifact fails its lint gate; ``plan_id`` names the optimized
+    artifact (defaults to ``<original>-opt``).
+    """
+    from ..core.plan import CompiledPlan  # noqa: F401  (type only)
+    from .driver import MODEL_CHAINS, lint_plan
+
+    stats = RewriteStats()
+    results: Dict[int, SearchResult] = {}
+    nodes = 0
+    for li, rec in enumerate(plan.layers):
+        if rec.chain is None or rec.fusion is None:
+            continue
+        ops = MODEL_CHAINS[rec.chain]()
+        res = search_plan(
+            ops, rec.fusion, graph, rec.feat_len, plan.gpu_config,
+            rec.layout(), grouped=rec.grouped,
+            agg_compute_scale=rec.agg_compute_scale,
+            agg_uncoalesced=rec.agg_uncoalesced,
+            beam_width=beam_width, max_nodes=max_nodes,
+        )
+        stats.merge(res.stats)
+        nodes += res.nodes_expanded
+        if res.improved:
+            results[li] = res
+
+    optimize_meta = {
+        **stats.to_dict(),
+        "nodes_expanded": nodes,
+        "beam_width": beam_width,
+        "layers_improved": len(results),
+    }
+    if not results:
+        return plan
+
+    new_kernels: List[KernelSpec] = []
+    new_layers = []
+    rewrites: List[Dict[str, object]] = []
+    for li, rec in enumerate(plan.layers):
+        old = plan.kernels[rec.kernel_start:rec.kernel_stop]
+        res = results.get(li)
+        if res is None:
+            layer_kernels = list(old)
+            fusion = rec.fusion
+        else:
+            # Re-lower under the layer's own prefix so buffer names in
+            # the whole-plan stream stay unique across layers.
+            layer_kernels = lower_plan(
+                res.plan, graph, rec.feat_len, plan.gpu_config,
+                rec.layout(), prefix=_layer_prefix(old),
+                agg_compute_scale=rec.agg_compute_scale,
+                agg_uncoalesced=rec.agg_uncoalesced,
+            )
+            fusion = res.plan
+            rewrites.extend(
+                {"layer": rec.label, **ar.to_dict()}
+                for ar in res.applied
+            )
+        start = len(new_kernels)
+        new_kernels.extend(layer_kernels)
+        new_layers.append(dataclasses.replace(
+            rec, fusion=fusion, kernel_start=start,
+            kernel_stop=len(new_kernels),
+        ))
+
+    out = dataclasses.replace(
+        plan,
+        plan_id=plan_id or f"{plan.plan_id}-opt",
+        kernels=new_kernels,
+        layers=new_layers,
+        extra={
+            **plan.extra,
+            "rewrites": rewrites,
+            "optimize": {
+                **optimize_meta,
+                "scores": {
+                    plan.layers[li].label: {
+                        "before": res.original_score.to_dict(),
+                        "after": res.score.to_dict(),
+                    }
+                    for li, res in results.items()
+                },
+            },
+        },
+    )
+    report = lint_plan(out, graph=graph, config=plan.gpu_config)
+    if not report.ok:
+        # An optimized artifact must hold itself to the same gate the
+        # original passed; anything less ships the original.
+        return plan
+    return out

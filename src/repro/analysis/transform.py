@@ -1,0 +1,98 @@
+"""Plan surgery: the transformations the rewrite actions apply.
+
+Two primitives cover every advisory the passes currently emit:
+
+* :func:`merge_boundary` — fuse two adjacent groups into one kernel
+  (the FP002 redundancy bypass and the FP003 visible-range fusion both
+  reduce to deleting one kernel boundary);
+* :func:`postpone_group` — move a whole group's ops into the postponed
+  list of the next downstream AGGREGATE group (the HB003 sync elision:
+  the §4.2 linear-property rewrite applied after the fact).
+
+Both are *pure*: they deep-copy the group structure and return a new
+:class:`FusionPlan`, so the rewrite engine can propose, verify and
+reject candidates without ever touching the plan under analysis.
+Neither primitive checks legality — that is deliberately left to the
+verification loop, which re-runs every registered pass on the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.compgraph import FusionGroup, FusionPlan, Op, OpKind
+
+__all__ = [
+    "clone_plan",
+    "chain_order",
+    "merge_boundary",
+    "postpone_group",
+]
+
+
+def clone_plan(plan: FusionPlan, label: str = "") -> FusionPlan:
+    """Structural copy: fresh groups and lists, shared (frozen) ops."""
+    return FusionPlan(
+        [FusionGroup(list(g.ops), list(g.postponed)) for g in plan.groups],
+        label=label or plan.label,
+    )
+
+
+def chain_order(ops: List[Op]) -> Dict[str, int]:
+    """Op name -> position in the source chain (names are unique)."""
+    return {op.name: i for i, op in enumerate(ops)}
+
+
+def merge_boundary(plan: FusionPlan, gi: int, label: str = "") -> FusionPlan:
+    """Fuse group ``gi + 1`` into group ``gi``, deleting one boundary.
+
+    The right group's ops run after the left group's; postponed ops of
+    both ride along (they execute at kernel end either way).
+    """
+    if not 0 <= gi < len(plan.groups) - 1:
+        raise IndexError(f"no kernel boundary {gi}|{gi + 1} in the plan")
+    out = clone_plan(plan, label)
+    left, right = out.groups[gi], out.groups[gi + 1]
+    merged = FusionGroup(
+        left.ops + right.ops, left.postponed + right.postponed
+    )
+    out.groups[gi:gi + 2] = [merged]
+    return out
+
+
+def _next_aggregate(plan: FusionPlan, gi: int) -> Optional[int]:
+    for gj in range(gi + 1, len(plan.groups)):
+        if any(op.kind == OpKind.AGGREGATE for op in plan.groups[gj].ops):
+            return gj
+    return None
+
+
+def postpone_group(
+    plan: FusionPlan,
+    gi: int,
+    order: Dict[str, int],
+    label: str = "",
+) -> Optional[FusionPlan]:
+    """Move group ``gi``'s ops into the next AGGREGATE group's postponed
+    list (the linear-property sync elision), deleting group ``gi``.
+
+    ``order`` is the source chain's name->position map; the combined
+    postponed list keeps chain order regardless of the sequence in
+    which groups were postponed.  Returns None when no downstream
+    aggregate exists to postpone into.
+    """
+    if not 0 <= gi < len(plan.groups):
+        raise IndexError(f"no group {gi} in the plan")
+    if plan.groups[gi].postponed:
+        return None  # a group hosting postponed ops is not movable
+    gj = _next_aggregate(plan, gi)
+    if gj is None:
+        return None
+    out = clone_plan(plan, label)
+    moved = out.groups[gi].ops
+    host = out.groups[gj]
+    host.postponed = sorted(
+        host.postponed + moved, key=lambda op: order[op.name]
+    )
+    del out.groups[gi]
+    return out

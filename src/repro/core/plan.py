@@ -53,8 +53,11 @@ __all__ = [
 PLAN_VERSION = 2
 
 #: The staged pipeline, in order.  Every ``PlanBuilder.stage`` entry must
-#: name one of these.
-STAGE_NAMES = ("trace", "schedule", "group", "adapt", "lower", "tune")
+#: name one of these.  ``optimize`` is the opt-in post-compile stage
+#: (``REPRO_OPTIMIZE_PLANS=1``): the footprint-guided plan search run by
+#: :func:`repro.core.pipeline.optimize_stage`.
+STAGE_NAMES = ("trace", "schedule", "group", "adapt", "lower", "tune",
+               "optimize")
 
 
 @dataclasses.dataclass

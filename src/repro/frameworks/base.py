@@ -43,7 +43,7 @@ from ..graph.csr import CSRGraph
 from ..models.gat import GATConfig, gat_reference_forward
 from ..models.gcn import GCNConfig, gcn_reference_forward
 from ..models.sage_lstm import SageLSTMConfig, sage_lstm_reference_forward
-from ..perf import PERF
+from ..perf import PERF, optimize_enabled
 
 __all__ = [
     "Framework",
@@ -177,10 +177,19 @@ class Framework(abc.ABC):
         if model is None:
             model = _DEFAULT_MODELS[model_name]()
         cacheable = self.plan_cache_enabled()
+        # The opt-in optimizer changes what the pipeline produces, so it
+        # must change the content address too: the flag enters the
+        # options blob of plan_key (never OursOptions — that would move
+        # every default-path plan id), keeping optimized and default
+        # artifacts distinct in both cache tiers.
+        optimizing = optimize_enabled()
+        options = self.plan_options()
+        if optimizing:
+            options = {**options, "optimize": True}
         key = plan_key(
             self.name, model_name, graph,
             model_config=dataclasses.asdict(model),
-            options=self.plan_options(),
+            options=options,
             gpu_config=sim,
             dispatch_overhead=self.dispatch_overhead,
         )
@@ -191,6 +200,15 @@ class Framework(abc.ABC):
         compile_fn = getattr(self, f"compile_{model_name}")
         with PERF.stage("plan_compile"):
             plan = compile_fn(graph, model, sim)
+        if optimizing:
+            from ..core.pipeline import optimize_stage
+
+            plan = optimize_stage(plan, graph, plan_id=key)
+            if plan.plan_id != key:
+                # Nothing improved: the compiled plan ships as-is, but
+                # under the optimize-path address so the cache tiers
+                # stay coherent with the lookup key above.
+                plan = dataclasses.replace(plan, plan_id=key)
         if cacheable:
             PLAN_CACHE.put(plan)
         return plan
@@ -218,6 +236,9 @@ class Framework(abc.ABC):
         for key, value in plan.extra.items():
             report.extra.setdefault(key, value)
         perf = report.extra.setdefault("perf", {})
+        opt = plan.extra.get("optimize")
+        if isinstance(opt, dict):
+            perf["optimize"] = dict(opt)
         perf["plan"] = {
             "plan_id": plan.plan_id,
             "compile_seconds": plan.compile_seconds,

@@ -18,10 +18,9 @@ Lowering strategy, per the paper's §3 analysis:
 
 from __future__ import annotations
 
-from ..core.compgraph import gat_attention_ops, unfused_plan
+from ..core.compgraph import gat_attention_ops, gcn_layer_ops, unfused_plan
 from ..core.lowering import (
     ExecLayout,
-    aggregation_kernel,
     gemm_kernel,
     lower_plan,
     node_map_kernel,
@@ -65,6 +64,10 @@ class DGLLike(Framework):
         mem.alloc_tensor("h0", n, dims[0])
         with b.stage("group"):
             layout = ExecLayout.default(graph)
+        with b.stage("trace"):
+            ops = gcn_layer_ops()
+        with b.stage("adapt"):
+            plan = unfused_plan(ops)  # one kernel per op (Observation 3)
         for li in range(model.num_layers):
             f_in, f_out = dims[li], dims[li + 1]
             mem.alloc_tensor(f"hw{li}", n, f_out)
@@ -72,17 +75,18 @@ class DGLLike(Framework):
             with b.stage("lower"):
                 b.add(
                     gemm_kernel(n, f_in, f_out, sim, name=f"gcn{li}.gemm"),
-                    node_map_kernel(n, f_out, sim,
-                                    name=f"gcn{li}.norm_src"),
-                    aggregation_kernel(
-                        graph, f_out, sim, layout,
-                        name=f"gcn{li}.aggregate",
-                        edge_stream_bytes_per_edge=0.0,  # binary adjacency
-                        tag="cusparse",                  # SUM reducer path
-                    ),
-                    node_map_kernel(n, f_out, sim,
-                                    name=f"gcn{li}.norm_dst"),
                 )
+                layer_kernels = lower_plan(
+                    plan, graph, f_out, sim, layout, prefix=f"gcn{li}.",
+                )
+                for k in layer_kernels:
+                    if k.name.endswith(".aggregate"):
+                        k.tag = "cusparse"  # SUM reducer path
+            b.add_layer(
+                layer_kernels, label=f"gcn{li}", chain="gcn",
+                feat_len=f_out, layout=layout, grouped=False, fusion=plan,
+            )
+            with b.stage("lower"):
                 if li < model.num_layers - 1:
                     b.add(node_map_kernel(n, f_out, sim,
                                           name=f"gcn{li}.relu"))

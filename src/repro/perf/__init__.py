@@ -30,6 +30,7 @@ __all__ = [
     "fastpath_enabled",
     "memo_enabled",
     "cache_model_mode",
+    "optimize_enabled",
     "workers",
 ]
 
@@ -46,6 +47,7 @@ _FASTPATH: Optional[bool] = None
 _MEMO: Optional[bool] = None
 _CACHE_MODEL_MODE: Optional[str] = None
 _WORKERS: Optional[int] = None
+_OPTIMIZE: Optional[bool] = None
 
 
 def fastpath_enabled() -> bool:
@@ -76,6 +78,19 @@ def cache_model_mode() -> str:
     return "approx" if raw == "approx" else "exact"
 
 
+def optimize_enabled() -> bool:
+    """Whether the footprint-guided plan optimizer runs after compile.
+
+    Off by default (``REPRO_OPTIMIZE_PLANS=1`` opts in): the optimizer
+    adds an ``optimize`` pipeline stage and gives plans a distinct
+    content address, so the default path's plan ids — and therefore the
+    benchmark hashes — are untouched unless explicitly requested.
+    """
+    if _OPTIMIZE is not None:
+        return _OPTIMIZE
+    return _env_flag("REPRO_OPTIMIZE_PLANS", default=False)
+
+
 def workers() -> int:
     """Worker-process count for parallel kernel simulation.
 
@@ -98,6 +113,7 @@ def configure(
     memo: Optional[bool] = None,
     cache_model: Optional[str] = None,
     workers: Optional[int] = None,
+    optimize: Optional[bool] = None,
 ) -> None:
     """Override the performance switches at runtime.
 
@@ -105,7 +121,7 @@ def configure(
     environment control pass the string ``"env"``.  ``cache_model``
     accepts ``"exact"``/``"approx"``; ``workers`` a positive int.
     """
-    global _FASTPATH, _MEMO, _CACHE_MODEL_MODE, _WORKERS
+    global _FASTPATH, _MEMO, _CACHE_MODEL_MODE, _WORKERS, _OPTIMIZE
     if fastpath is not None:
         _FASTPATH = None if fastpath == "env" else bool(fastpath)
     if memo is not None:
@@ -122,6 +138,8 @@ def configure(
             )
     if workers is not None:
         _WORKERS = None if workers == "env" else max(1, int(workers))
+    if optimize is not None:
+        _OPTIMIZE = None if optimize == "env" else bool(optimize)
 
 
 class PerfRegistry:

@@ -1,0 +1,432 @@
+"""Tests for the verified auto-fix engine: plan surgery primitives,
+pass-proposed rewrite actions, the differential-execution oracle, the
+fix-point engine, and the ``repro lint --fix`` / baseline-hygiene CLI.
+
+The discipline mirrors the analysis tests: every accepting path is
+pinned on the shipped chains converging clean, and every guarding path
+on a deliberately wrong candidate being rejected — by the pass gate,
+by the differential harness, or by the surgery primitives themselves.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    FIXABLE_CODES,
+    LintContext,
+    autofix_lowering,
+    autofix_shipped,
+    check_happens_before,
+    check_opportunities,
+    collect_actions,
+    differential_verify,
+)
+from repro.analysis.findings import prune_baseline, unused_baseline_entries
+from repro.analysis.footprint import opportunity_rewrites
+from repro.analysis.hb import hb_rewrites
+from repro.analysis.rewrite import (
+    RewriteStats,
+    plan_signature,
+    verify_candidate,
+)
+from repro.analysis.transform import (
+    chain_order,
+    clone_plan,
+    merge_boundary,
+    postpone_group,
+)
+from repro.core import (
+    ExecLayout,
+    FusionGroup,
+    FusionPlan,
+    gat_attention_ops,
+    gcn_layer_ops,
+    identity_grouping,
+    lower_plan,
+    plan_fusion,
+    unfused_plan,
+)
+from repro.gpusim import V100_SCALED
+from repro.graph import small_dataset
+
+
+@pytest.fixture(scope="module")
+def g():
+    return small_dataset()
+
+
+def _layout(g):
+    return ExecLayout(grouping=identity_grouping(g))
+
+
+def _ctx(g, ops, plan, feat=32):
+    layout = _layout(g)
+    kernels = lower_plan(plan, g, feat, V100_SCALED, layout)
+    return LintContext(
+        ops=ops, plan=plan, kernels=kernels, graph=g, feat_len=feat,
+        config=V100_SCALED, layout=layout, grouped=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Plan surgery
+# ----------------------------------------------------------------------
+
+class TestTransform:
+    def test_clone_is_structural_copy(self):
+        plan = unfused_plan(gcn_layer_ops())
+        twin = clone_plan(plan)
+        twin.groups[0].ops.append(twin.groups[1].ops[0])
+        assert len(plan.groups[0].ops) == 1  # source untouched
+
+    def test_merge_boundary_deletes_one_boundary(self):
+        plan = unfused_plan(gcn_layer_ops())  # [norm_src][agg][norm_dst]
+        out = merge_boundary(plan, 0)
+        assert [len(grp.ops) for grp in out.groups] == [2, 1]
+        assert [op.name for op in out.groups[0].ops] == [
+            "norm_src", "aggregate",
+        ]
+        assert len(plan.groups) == 3  # pure: source plan unchanged
+
+    def test_merge_boundary_bounds_checked(self):
+        plan = unfused_plan(gcn_layer_ops())
+        with pytest.raises(IndexError):
+            merge_boundary(plan, 2)  # last group has no right neighbor
+
+    def test_postpone_group_moves_into_next_aggregate(self):
+        ops = gcn_layer_ops()
+        plan = unfused_plan(ops)
+        out = postpone_group(plan, 0, chain_order(ops))
+        assert len(out.groups) == 2
+        assert [op.name for op in out.groups[0].postponed] == ["norm_src"]
+
+    def test_postpone_keeps_chain_order_regardless_of_sequence(self):
+        ops = gat_attention_ops()
+        plan = unfused_plan(ops)  # [u_add_v][lrelu][exp][seg][bcast][div][agg]
+        order = chain_order(ops)
+        step1 = postpone_group(plan, 5, order)   # div first
+        step2 = postpone_group(step1, 4, order)  # then bcast
+        # div was postponed first, but the combined list is chain order.
+        assert [op.name for op in step2.groups[-1].postponed] == [
+            "bcast", "div",
+        ]
+
+    def test_postpone_refuses_group_hosting_postponed_ops(self):
+        ops = gat_attention_ops()
+        plan = plan_fusion(ops, allow_adapter=True, allow_linear=True,
+                           grouped=False)
+        host = next(
+            gi for gi, grp in enumerate(plan.groups) if grp.postponed
+        )
+        assert postpone_group(plan, host, chain_order(ops)) is None
+
+    def test_postpone_refuses_without_downstream_aggregate(self):
+        ops = gcn_layer_ops()
+        plan = unfused_plan(ops)
+        assert postpone_group(plan, 2, chain_order(ops)) is None
+
+    def test_plan_signature_distinguishes_structure(self):
+        ops = gcn_layer_ops()
+        plan = unfused_plan(ops)
+        assert plan_signature(plan) != plan_signature(
+            merge_boundary(plan, 0)
+        )
+        assert plan_signature(plan) == plan_signature(clone_plan(plan))
+
+
+# ----------------------------------------------------------------------
+# Pass-proposed actions mirror the findings
+# ----------------------------------------------------------------------
+
+class TestActionEmission:
+    def test_opportunity_actions_match_findings(self, g):
+        ops = gat_attention_ops()
+        ctx = _ctx(g, ops, unfused_plan(ops))
+        findings = {
+            (f.code, f.where) for f in check_opportunities(ctx)
+            if f.code == "FP003"
+        }
+        actions = {
+            (a.code, a.where) for a in opportunity_rewrites(ctx)
+            if a.code == "FP003"
+        }
+        assert actions == findings
+
+    def test_bcast_fp002_action_emitted(self, g):
+        ops = gat_attention_ops()
+        ctx = _ctx(g, ops, unfused_plan(ops))
+        fp002 = [a for a in opportunity_rewrites(ctx) if a.code == "FP002"]
+        assert len(fp002) == 1
+        assert "bcast" in fp002[0].where
+
+    def test_hb_actions_subset_of_hb003_findings(self, g):
+        ops = gat_attention_ops()
+        ctx = _ctx(g, ops, unfused_plan(ops))
+        findings = {
+            f.where for f in check_happens_before(ctx.kernels)
+            if f.code == "HB003"
+        }
+        actions = {a.where for a in hb_rewrites(ctx)}
+        assert actions  # the unfused GAT chain has removable syncs
+        assert actions <= findings
+
+    def test_collect_actions_covers_all_hooked_passes(self, g):
+        ops = gat_attention_ops()
+        ctx = _ctx(g, ops, unfused_plan(ops))
+        codes = {a.code for a in collect_actions(ctx)}
+        assert codes == {"FP002", "FP003", "HB003"}
+        assert codes <= set(FIXABLE_CODES)
+
+    def test_clean_plan_proposes_nothing(self, g):
+        ops = gat_attention_ops()
+        plan = plan_fusion(ops, allow_adapter=True, allow_linear=True,
+                           grouped=False)
+        assert collect_actions(_ctx(g, ops, plan)) == []
+
+
+# ----------------------------------------------------------------------
+# Differential execution
+# ----------------------------------------------------------------------
+
+class TestDiffExec:
+    def test_legal_fusion_is_bit_identical(self):
+        ops = gat_attention_ops()
+        original = unfused_plan(ops)
+        fused = plan_fusion(ops, allow_adapter=True, allow_linear=False,
+                            grouped=False)
+        ok, detail = differential_verify(original, fused, ops)
+        assert ok, detail
+        assert "bit-identical" in detail
+
+    def test_linear_postponement_is_bit_identical(self):
+        ops = gat_attention_ops()
+        original = unfused_plan(ops)
+        postponed = plan_fusion(ops, allow_adapter=True, allow_linear=True,
+                                grouped=False)
+        assert any(grp.postponed for grp in postponed.groups)
+        ok, detail = differential_verify(original, postponed, ops)
+        assert ok, detail
+
+    def test_dropped_op_is_caught(self):
+        ops = gat_attention_ops()
+        original = unfused_plan(ops)
+        broken = clone_plan(original)
+        # "Fix" that silently deletes the leaky_relu kernel.
+        del broken.groups[1]
+        ok, detail = differential_verify(original, broken, ops)
+        assert not ok
+        assert "diverge" in detail or "unsupported" in detail
+
+    def test_reordered_nonlinear_op_is_caught(self):
+        ops = gcn_layer_ops()
+        original = unfused_plan(ops)
+        broken = clone_plan(original)
+        # Illegally postpone the *pre*-aggregation normalization as if
+        # it were the post-aggregation one: sum(x_s * a_s) != sum(x_s)
+        # * a_c, so exact interpretation must diverge.
+        moved = broken.groups.pop(0)
+        broken.groups[-1].postponed = (
+            list(broken.groups[-1].postponed) + list(moved.ops)
+        )
+        ok, detail = differential_verify(original, broken, ops)
+        assert not ok
+
+    def test_gcn_full_fusion_identical(self):
+        ops = gcn_layer_ops()
+        original = unfused_plan(ops)
+        fused = FusionPlan([FusionGroup(list(ops))])
+        ok, detail = differential_verify(original, fused, ops)
+        assert ok, detail
+
+
+# ----------------------------------------------------------------------
+# The fix-point engine
+# ----------------------------------------------------------------------
+
+class TestAutofixEngine:
+    def test_gat_unfused_converges_clean(self, g):
+        ops = gat_attention_ops()
+        plan = unfused_plan(ops)
+        res = autofix_lowering(
+            ops, plan, g, 32, V100_SCALED, _layout(g), grouped=False,
+        )
+        assert len(res.plan.groups) <= 2
+        assert res.remaining == []          # nothing left to report
+        assert res.changed
+        assert res.stats.accepts == len(res.applied)
+        # Every accept deleted exactly one group.
+        assert res.stats.accepts == len(plan.groups) - len(res.plan.groups)
+        assert len(res.kernels) == len(res.plan.groups)
+
+    def test_gcn_unfused_converges_to_single_kernel(self, g):
+        ops = gcn_layer_ops()
+        res = autofix_lowering(
+            ops, unfused_plan(ops), g, 32, V100_SCALED, _layout(g),
+            grouped=False,
+        )
+        assert len(res.plan.groups) == 1
+        assert res.remaining == []
+
+    def test_clean_plan_is_untouched(self, g):
+        ops = gat_attention_ops()
+        plan = plan_fusion(ops, allow_adapter=True, allow_linear=True,
+                           grouped=False)
+        res = autofix_lowering(
+            ops, plan, g, 32, V100_SCALED, _layout(g), grouped=False,
+        )
+        assert not res.changed
+        assert res.stats.attempts == 0
+        assert plan_signature(res.plan) == plan_signature(plan)
+
+    def test_fix_provenance_correlates_with_findings(self, g):
+        ops = gat_attention_ops()
+        ctx = _ctx(g, ops, unfused_plan(ops))
+        reported = {
+            (f.code, f.where)
+            for f in check_opportunities(ctx) + check_happens_before(
+                ctx.kernels
+            )
+        }
+        res = autofix_lowering(
+            ops, unfused_plan(ops), g, 32, V100_SCALED, _layout(g),
+            grouped=False,
+        )
+        # The first accepted fix addresses a finding reported verbatim.
+        assert (res.applied[0].code, res.applied[0].where) in reported
+
+    def test_verify_candidate_rejects_illegal_plan(self, g):
+        ops = gat_attention_ops()
+        plan = unfused_plan(ops)
+        broken = clone_plan(plan)
+        del broken.groups[2]  # drop the exp kernel entirely
+        kernels, detail = verify_candidate(
+            ops, plan, broken, g, 32, V100_SCALED, _layout(g),
+            grouped=False,
+        )
+        assert kernels is None
+        assert detail
+
+    def test_verify_candidate_accepts_legal_merge(self, g):
+        ops = gcn_layer_ops()
+        plan = unfused_plan(ops)
+        kernels, detail = verify_candidate(
+            ops, plan, merge_boundary(plan, 0), g, 32, V100_SCALED,
+            _layout(g), grouped=False,
+        )
+        assert kernels is not None and len(kernels) == 2
+
+    def test_stats_merge(self):
+        a, b = RewriteStats(), RewriteStats()
+        a.attempts = 2
+        a.accept("FP003")
+        b.attempts = 3
+        b.reject("verify")
+        b.reject("verify")
+        a.merge(b)
+        assert a.attempts == 5
+        assert a.accepts == 1 and a.rejects == 2
+        assert a.reject_stages == {"verify": 2}
+        assert a.by_code == {"FP003": 1}
+
+    def test_autofix_shipped_grid_is_clean_after_fixes(self):
+        sweep = autofix_shipped(["arxiv"], ["gcn"], fusions=("unfused",))
+        assert sweep.entries
+        assert sweep.stats.accepts > 0
+        assert sweep.unfixed_fixable() == []
+        report = sweep.remaining_report()
+        assert report.checked == len(sweep.entries)
+        assert report.findings == []
+        # Fixed lines name the pipeline labels the lint sweep uses.
+        assert any("gcn:arxiv:unfused" in line
+                   for line in sweep.fixed_lines())
+
+
+# ----------------------------------------------------------------------
+# Baseline hygiene + CLI
+# ----------------------------------------------------------------------
+
+class TestBaselineHygieneAndCLI:
+    def test_unused_entries_detected(self):
+        from repro.analysis import make_finding
+
+        findings = [make_finding("FP003", "kernel boundary 0|1: a->b",
+                                 "msg")]
+        entries = [
+            {"code": "FP003", "where": "kernel boundary 0|1*"},
+            {"code": "HB003", "where": "kernel 5*"},  # matches nothing
+        ]
+        unused = unused_baseline_entries(entries, findings)
+        assert unused == [{"code": "HB003", "where": "kernel 5*"}]
+
+    def test_prune_baseline_preserves_file_shape(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "_comment": ["keep me"],
+            "suppress": [
+                {"code": "FP003", "where": "nothing matches this"},
+            ],
+        }))
+        removed = prune_baseline(str(path), [])
+        assert removed == 1
+        payload = json.loads(path.read_text())
+        assert payload["_comment"] == ["keep me"]
+        assert payload["suppress"] == []
+
+    def test_prune_noop_leaves_file_alone(self, tmp_path):
+        from repro.analysis import make_finding
+
+        path = tmp_path / "baseline.json"
+        body = json.dumps({"suppress": [{"code": "FP003", "where": "*"}]})
+        path.write_text(body)
+        removed = prune_baseline(
+            str(path), [make_finding("FP003", "anywhere", "m")]
+        )
+        assert removed == 0
+        assert path.read_text() == body
+
+    def test_cli_explain_lists_all_codes(self, capsys):
+        from repro.analysis import CODES
+        from repro.cli import main
+
+        assert main(["lint", "--explain"]) == 0
+        out = capsys.readouterr().out
+        for code in CODES:
+            assert code in out
+
+    def test_cli_fix_dry_run_exits_clean(self, capsys):
+        from repro.cli import main
+
+        rc = main(["lint", "--dataset", "arxiv", "--model", "gcn",
+                   "--fusion", "unfused", "--fix", "--dry-run"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[FIXED  ]" in out
+        assert "dry run" in out
+
+    def test_cli_dry_run_requires_fix(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--dry-run"):
+            main(["lint", "--dataset", "arxiv", "--dry-run"])
+
+    def test_cli_prune_baseline_rewrites_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"suppress": [
+            {"code": "HB003", "where": "no such kernel anywhere*"},
+        ]}))
+        rc = main(["lint", "--dataset", "arxiv", "--model", "gcn",
+                   "--fusion", "linear", "--baseline", str(path),
+                   "--prune-baseline"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[STALE  ]" in out and "pruned 1" in out
+        assert json.loads(path.read_text())["suppress"] == []
+
+    def test_cli_prune_requires_baseline(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--prune-baseline"):
+            main(["lint", "--prune-baseline"])

@@ -1,0 +1,175 @@
+"""Schema-level validation of the SARIF 2.1.0 export.
+
+SARIF consumers (GitHub code scanning et al.) are strict about the
+log-file shape, so rather than spot-checking a field here and there the
+tests below validate every emitted log against a hand-rolled subset of
+the SARIF 2.1.0 schema: the required top-level properties, the tool
+driver with its rule metadata, and each result's ruleId / level /
+message / logical locations.  Anything the exporter ever emits must
+satisfy :func:`validate_sarif`.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import CODES, AnalysisReport, make_finding
+
+#: The result/notification levels SARIF 2.1.0 §3.27.10 allows.
+_LEVELS = {"none", "note", "warning", "error"}
+
+
+def validate_sarif(log: dict) -> None:
+    """Assert ``log`` satisfies the minimal SARIF 2.1.0 shape we rely on.
+
+    Raises ``AssertionError`` with a pinpointed message on the first
+    violation; returns None when the log validates.
+    """
+    assert isinstance(log, dict), "log must be an object"
+    assert log.get("version") == "2.1.0", "version must be '2.1.0'"
+    assert isinstance(log.get("$schema"), str) and "sarif-2.1.0" in (
+        log["$schema"]
+    ), "$schema must point at the 2.1.0 schema"
+    runs = log.get("runs")
+    assert isinstance(runs, list) and runs, "runs must be non-empty"
+
+    for ri, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver")
+        assert isinstance(driver, dict), f"runs[{ri}] needs tool.driver"
+        assert isinstance(driver.get("name"), str) and driver["name"], (
+            f"runs[{ri}] driver needs a non-empty name"
+        )
+        rule_ids = []
+        for pi, rule in enumerate(driver.get("rules", [])):
+            where = f"runs[{ri}].rules[{pi}]"
+            assert isinstance(rule.get("id"), str) and rule["id"], (
+                f"{where} needs a non-empty id"
+            )
+            rule_ids.append(rule["id"])
+            short = rule.get("shortDescription", {})
+            assert isinstance(short.get("text"), str) and short["text"], (
+                f"{where} needs shortDescription.text"
+            )
+            level = rule.get("defaultConfiguration", {}).get("level")
+            if level is not None:
+                assert level in _LEVELS, f"{where} bad level {level!r}"
+        assert len(rule_ids) == len(set(rule_ids)), (
+            f"runs[{ri}] rule ids must be unique"
+        )
+
+        results = run.get("results")
+        assert isinstance(results, list), f"runs[{ri}] needs results"
+        for qi, result in enumerate(results):
+            where = f"runs[{ri}].results[{qi}]"
+            rid = result.get("ruleId")
+            assert isinstance(rid, str) and rid, f"{where} needs ruleId"
+            if rid in CODES:
+                # A registered code must be published as a rule, so the
+                # consumer can join result -> rule metadata.
+                assert rid in rule_ids, f"{where} ruleId {rid} not in rules"
+            assert result.get("level") in _LEVELS, (
+                f"{where} bad level {result.get('level')!r}"
+            )
+            msg = result.get("message", {})
+            assert isinstance(msg.get("text"), str) and msg["text"], (
+                f"{where} needs message.text"
+            )
+            locs = result.get("locations")
+            assert isinstance(locs, list) and locs, (
+                f"{where} needs at least one location"
+            )
+            for loc in locs:
+                logical = loc.get("logicalLocations")
+                assert isinstance(logical, list) and logical, (
+                    f"{where} location needs logicalLocations"
+                )
+                for ll in logical:
+                    fqn = ll.get("fullyQualifiedName")
+                    assert isinstance(fqn, str) and fqn, (
+                        f"{where} logical location needs "
+                        f"fullyQualifiedName"
+                    )
+
+
+def _report_with(codes):
+    report = AnalysisReport(label="schema-test", checked=1)
+    for code in codes:
+        report.extend([make_finding(code, f"kernel {code}", "synthetic")])
+    return report
+
+
+class TestExporterAgainstSchema:
+    def test_every_registered_code_validates(self):
+        # One finding per registered code: all passes, all severities.
+        validate_sarif(_report_with(sorted(CODES)).to_sarif())
+
+    def test_severity_level_mapping(self):
+        log = _report_with(sorted(CODES)).to_sarif()
+        levels = {
+            r["ruleId"]: r["level"] for r in log["runs"][0]["results"]
+        }
+        mapped = {"error": "error", "warning": "warning", "info": "note"}
+        for code, fc in CODES.items():
+            assert levels[code] == mapped[fc.severity]
+
+    def test_empty_report_validates(self):
+        log = AnalysisReport(label="empty").to_sarif()
+        validate_sarif(log)
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+    def test_rules_cover_exactly_the_codes_used(self):
+        some = sorted(CODES)[:3]
+        log = _report_with(some).to_sarif()
+        ids = [r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]]
+        assert ids == some
+
+    def test_locations_carry_the_where_string(self):
+        code = sorted(CODES)[0]
+        log = _report_with([code]).to_sarif()
+        result = log["runs"][0]["results"][0]
+        fqn = result["locations"][0]["logicalLocations"][0][
+            "fullyQualifiedName"
+        ]
+        assert fqn == f"kernel {code}"
+
+    def test_uncoded_finding_falls_back_to_pass_name(self):
+        from repro.analysis import INFO, Finding
+
+        report = AnalysisReport(findings=[
+            Finding("custom_pass", INFO, "group 0", "no code")
+        ])
+        log = report.to_sarif()
+        validate_sarif(log)
+        assert log["runs"][0]["results"][0]["ruleId"] == "custom_pass"
+
+
+class TestCLISarifAgainstSchema:
+    def test_lint_sweep_export_validates(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "lint.sarif"
+        rc = main(["lint", "--dataset", "arxiv", "--model", "gat",
+                   "--fusion", "unfused", "--verbose",
+                   "--sarif", str(path)])
+        capsys.readouterr()
+        assert rc == 0
+        log = json.loads(path.read_text())
+        validate_sarif(log)
+        # The unfused GAT sweep reports real advisory findings, so the
+        # validated log is non-trivial.
+        assert log["runs"][0]["results"]
+
+    def test_validator_rejects_malformed_logs(self):
+        good = _report_with(sorted(CODES)[:1]).to_sarif()
+        bad_version = {**good, "version": "2.0.0"}
+        with pytest.raises(AssertionError, match="version"):
+            validate_sarif(bad_version)
+        bad_result = json.loads(json.dumps(good))
+        bad_result["runs"][0]["results"][0]["level"] = "fatal"
+        with pytest.raises(AssertionError, match="bad level"):
+            validate_sarif(bad_result)
+        bad_loc = json.loads(json.dumps(good))
+        bad_loc["runs"][0]["results"][0]["locations"] = []
+        with pytest.raises(AssertionError, match="location"):
+            validate_sarif(bad_loc)
