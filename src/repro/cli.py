@@ -17,6 +17,8 @@ Examples::
     python -m repro plan show plans/plan_<id>.npz
     python -m repro plan lint --dir plans/
     python -m repro plan optimize --dir plans/ --out plans-opt/
+    python -m repro shard partition --dataset arxiv --parts 4
+    python -m repro shard run --dataset arxiv --model gcn --parts 2
 """
 
 from __future__ import annotations
@@ -447,6 +449,8 @@ def cmd_bench(args) -> int:
         forwarded.extend(["--workers", str(args.workers)])
     if args.tolerance is not None:
         forwarded.extend(["--tolerance", str(args.tolerance)])
+    if getattr(args, "warm_plans", False):
+        forwarded.append("--warm-plans")
     old_argv = sys.argv
     sys.argv = [path] + forwarded
     try:
@@ -454,6 +458,96 @@ def cmd_bench(args) -> int:
     finally:
         sys.argv = old_argv
     return 0
+
+
+# ----------------------------------------------------------------------
+# repro shard — multi-device partition + run
+# ----------------------------------------------------------------------
+
+def cmd_shard_partition(args) -> int:
+    from .shard import partition_graph, save_shard_plan
+
+    g = load_dataset(args.dataset)
+    plan = partition_graph(g, args.parts, args.method)
+    print(plan.describe())
+    if args.out:
+        path = save_shard_plan(args.out, plan)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_shard_run(args) -> int:
+    from .analysis.findings import AnalysisReport
+    from .shard import LinkConfig, run_sharded
+
+    frameworks = all_frameworks()
+    if args.framework not in frameworks:
+        raise SystemExit(
+            f"unknown framework {args.framework!r}; choose from "
+            f"{list(frameworks)}"
+        )
+    fw = frameworks[args.framework]
+    g = load_dataset(args.dataset)
+    sim = bench_config()
+    link = LinkConfig(
+        bandwidth=args.link_bandwidth, latency=args.link_latency
+    )
+    lint = not args.no_lint
+    try:
+        res = run_sharded(
+            fw, args.model, g, sim, num_parts=args.parts,
+            method=args.method, link=link, lint=lint,
+        )
+    except SimulatedOOM as exc:
+        print(f"simulated OOM on {args.parts} device(s): {exc}")
+        return 1
+    except NotSupported:
+        raise SystemExit(
+            f"{args.framework} does not support {args.model}"
+        )
+    sh = res.report.extra["perf"]["shard"]
+    rows = [
+        [
+            d["device"], d["owned_nodes"], d["local_edges"],
+            d["halo_nodes"], d["mirror_nodes"],
+            round(d["compute_seconds"] * 1e3, 3),
+            round(d["transfer_seconds"] * 1e3, 3),
+            round(d["finish_seconds"] * 1e3, 3),
+        ]
+        for d in sh["devices"]
+    ]
+    print(format_table(
+        f"{args.framework}:{args.model}:{args.dataset} on "
+        f"{args.parts} device(s), {args.method}",
+        ["dev", "owned", "edges", "halo", "mirror",
+         "compute_ms", "transfer_ms", "finish_ms"],
+        rows,
+    ))
+    cross = sh["cross_device"]
+    print(
+        f"wall {sh['wall_seconds'] * 1e3:.3f} ms | serial-equivalent "
+        f"{sh['serial_seconds'] * 1e3:.3f} ms | transfers "
+        f"{cross['transfer_bytes'] / 1e6:.2f} MB over "
+        f"{cross['num_transfers']} kernel(s) "
+        f"({100 * cross['transfer_fraction']:.1f}% of device time)"
+    )
+    report = AnalysisReport(
+        findings=list(res.findings),
+        checked=args.parts,
+        label=(
+            f"shard:{args.framework}:{args.model}:{args.dataset}:"
+            f"{args.method}{args.parts}"
+        ),
+    )
+    if lint:
+        print(report.format())
+    if args.sarif:
+        _write_sarif(args.sarif, report)
+    return 0 if report.gate(args.fail_on) else 1
+
+
+def cmd_shard(args) -> int:
+    return args.shard_func(args)
 
 
 def cmd_schedule(args) -> int:
@@ -519,6 +613,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI perf gate against BENCH_speed.json")
     sp.add_argument("--workers", type=int, default=0,
                     help="REPRO_WORKERS for the measured runs")
+    sp.add_argument("--warm-plans", action="store_true",
+                    dest="warm_plans",
+                    help="also measure the warm plan-cache path")
     sp.add_argument("--tolerance", type=float, default=None,
                     help="allowed fractional regression for --check")
     sp.set_defaults(func=cmd_bench)
@@ -628,6 +725,54 @@ def build_parser() -> argparse.ArgumentParser:
     psp.add_argument("--out", default=None,
                      help="directory to save optimized artifacts into")
     psp.set_defaults(func=cmd_plan, plan_func=cmd_plan_optimize)
+
+    sp = sub.add_parser(
+        "shard",
+        help="multi-device sharded execution (partition + run)",
+    )
+    shard_sub = sp.add_subparsers(dest="shard_command", required=True)
+
+    def add_shard_args(ssp):
+        ssp.add_argument("--dataset", choices=DATASET_NAMES,
+                         required=True)
+        ssp.add_argument("--parts", type=int, default=2,
+                         help="number of simulated devices (default: 2)")
+        ssp.add_argument("--method", choices=["edge_cut", "vertex_cut"],
+                         default="edge_cut",
+                         help="partitioning method (default: edge_cut)")
+
+    ssp = shard_sub.add_parser(
+        "partition",
+        help="partition a dataset and print / save the shard plan",
+    )
+    add_shard_args(ssp)
+    ssp.add_argument("--out", default=None, metavar="DIR",
+                     help="save the content-addressed shard artifact")
+    ssp.set_defaults(func=cmd_shard, shard_func=cmd_shard_partition)
+
+    ssp = shard_sub.add_parser(
+        "run",
+        help="partition, compile per device, and run multi-device",
+    )
+    add_shard_args(ssp)
+    ssp.add_argument("--model", choices=["gcn", "gat", "sage_lstm"],
+                     default="gcn")
+    ssp.add_argument("--framework", default="dgl",
+                     help="execution strategy (default: dgl)")
+    ssp.add_argument("--link-bandwidth", type=float, default=50e9,
+                     dest="link_bandwidth",
+                     help="inter-device bytes/s (default: 50e9)")
+    ssp.add_argument("--link-latency", type=float, default=5e-6,
+                     dest="link_latency",
+                     help="per-message seconds (default: 5e-6)")
+    ssp.add_argument("--no-lint", action="store_true", dest="no_lint",
+                     help="skip the cross-device happens-before pass")
+    ssp.add_argument("--fail-on", choices=["error", "warning"],
+                     default="error", dest="fail_on",
+                     help="findings severity that fails the run")
+    ssp.add_argument("--sarif", default=None, metavar="PATH",
+                     help="write HB findings as SARIF 2.1.0 JSON")
+    ssp.set_defaults(func=cmd_shard, shard_func=cmd_shard_run)
     return p
 
 

@@ -165,6 +165,7 @@ class Framework(abc.ABC):
         graph: CSRGraph,
         sim: GPUConfig,
         model=None,
+        shard_options: Optional[Dict[str, object]] = None,
     ) -> CompiledPlan:
         """Resolve a plan for (model, graph, sim): cache hit or compile.
 
@@ -181,11 +182,17 @@ class Framework(abc.ABC):
         # must change the content address too: the flag enters the
         # options blob of plan_key (never OursOptions — that would move
         # every default-path plan id), keeping optimized and default
-        # artifacts distinct in both cache tiers.
+        # artifacts distinct in both cache tiers.  Sharded compilation
+        # follows the same opt-in pattern: the partitioning blob
+        # (method/parts/part/shard fingerprint) joins the options only
+        # when present, so every single-device plan id stays put while
+        # per-partition plans get their own content addresses.
         optimizing = optimize_enabled()
         options = self.plan_options()
         if optimizing:
             options = {**options, "optimize": True}
+        if shard_options:
+            options = {**options, "shard": dict(shard_options)}
         key = plan_key(
             self.name, model_name, graph,
             model_config=dataclasses.asdict(model),
@@ -200,6 +207,12 @@ class Framework(abc.ABC):
         compile_fn = getattr(self, f"compile_{model_name}")
         with PERF.stage("plan_compile"):
             plan = compile_fn(graph, model, sim)
+        if shard_options and plan.plan_id != key:
+            # The builder addresses the plan from its own options blob,
+            # which never sees the partitioning metadata: fold it in so
+            # sharded and monolithic compilations of byte-identical
+            # graphs never share a content address.
+            plan = dataclasses.replace(plan, plan_id=key)
         if optimizing:
             from ..core.pipeline import optimize_stage
 

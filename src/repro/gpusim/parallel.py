@@ -38,7 +38,11 @@ from .config import GPUConfig
 from .kernel import KernelSpec
 from .metrics import KernelStats
 
-__all__ = ["simulate_kernels_parallel", "shutdown_pool"]
+__all__ = [
+    "simulate_kernels_parallel",
+    "simulate_partition_streams",
+    "shutdown_pool",
+]
 
 
 _POOL = None
@@ -210,6 +214,8 @@ def simulate_kernels_parallel(
             PERF.add_seconds("schedule", float(info["schedule_seconds"]))
 
     busy = sum(float(i["busy_seconds"]) for i in worker_info)
+    PERF.add_seconds("pool_wall", wall)
+    PERF.add_seconds("pool_busy", busy)
     info = {
         "workers": n_workers,
         "cold_kernels": len(cold_idx),
@@ -223,6 +229,135 @@ def simulate_kernels_parallel(
         ),
     }
     return _fill_serial(results, kernels, config, dispatch_overhead), info
+
+
+def simulate_partition_streams(
+    streams: Sequence[Sequence[KernelSpec]],
+    config: GPUConfig,
+    dispatch_overhead: float,
+    n_workers: int,
+) -> Tuple[List[List[KernelStats]], Optional[Dict[str, object]]]:
+    """Simulate per-partition compute streams, one pool chunk per stream.
+
+    The multi-device executor's partitions are independent until their
+    transfer edges, so each partition's cold kernels become one worker
+    task — partitions simulate in parallel processes while the dedupe
+    and memo-writeback semantics of :func:`simulate_kernels_parallel`
+    are preserved (partitions of a symmetric shard share most kernel
+    fingerprints, so later partitions ride the first one's memo
+    entries).  Returns per-partition stats lists plus the parallel info
+    dict (``None`` when the run was serial).
+    """
+    from .executor import simulate_kernel
+    from .memo import KERNEL_MEMO
+
+    streams = [list(s) for s in streams]
+    flat: List[KernelSpec] = [k for s in streams for k in s]
+    bounds: List[int] = []
+    off = 0
+    for s in streams:
+        bounds.append(off)
+        off += len(s)
+    bounds.append(off)
+
+    def split(results: List[KernelStats]) -> List[List[KernelStats]]:
+        return [
+            results[bounds[p] : bounds[p + 1]]
+            for p in range(len(streams))
+        ]
+
+    pool = _get_pool(n_workers) if n_workers > 1 and flat else None
+    if pool is None:
+        return (
+            split([
+                simulate_kernel(k, config, dispatch_overhead)
+                for k in flat
+            ]),
+            None,
+        )
+
+    use_memo = memo_enabled()
+    results: List[Optional[KernelStats]] = [None] * len(flat)
+    cold_by_part: List[List[int]] = [[] for _ in streams]
+    first_of: Dict[str, int] = {}
+    dupes: Dict[int, List[int]] = {}
+    fingerprints: List[Optional[str]] = [None] * len(flat)
+    for p in range(len(streams)):
+        for i in range(bounds[p], bounds[p + 1]):
+            k = flat[i]
+            if not use_memo:
+                cold_by_part[p].append(i)
+                continue
+            fp = KERNEL_MEMO.fingerprint(k, config, dispatch_overhead)
+            fingerprints[i] = fp
+            cached = KERNEL_MEMO.get(fp)
+            if cached is not None:
+                PERF.count("kernel_memo_hit")
+                results[i] = _restore(cached, k)
+                continue
+            owner = first_of.get(fp)
+            if owner is None:
+                first_of[fp] = i
+                cold_by_part[p].append(i)
+            else:
+                dupes.setdefault(owner, []).append(i)
+
+    chunks = [c for c in cold_by_part if c]
+    worker_info: List[Dict[str, object]] = []
+    wall = 0.0
+    if chunks:
+        fastpath, mode = fastpath_enabled(), cache_model_mode()
+        t0 = time.perf_counter()
+        futures = [
+            pool.submit(_simulate_chunk, (
+                chunk,
+                [flat[i] for i in chunk],
+                config,
+                dispatch_overhead,
+                fastpath,
+                use_memo,
+                mode,
+            ))
+            for chunk in chunks
+        ]
+        for fut in futures:
+            chunk_stats, info = fut.result()
+            worker_info.append(info)
+            for i, stats in chunk_stats:
+                PERF.count("kernel_memo_miss")
+                if use_memo:
+                    KERNEL_MEMO.put(fingerprints[i], stats)
+                results[i] = _restore(stats, flat[i])
+                for j in dupes.get(i, ()):
+                    PERF.count("kernel_memo_hit")
+                    results[j] = _restore(stats, flat[j])
+        wall = time.perf_counter() - t0
+        for info in worker_info:
+            PERF.add_seconds(
+                "cache_model", float(info["cache_model_seconds"])
+            )
+            PERF.add_seconds("schedule", float(info["schedule_seconds"]))
+
+    busy = sum(float(i["busy_seconds"]) for i in worker_info)
+    PERF.add_seconds("pool_wall", wall)
+    PERF.add_seconds("pool_busy", busy)
+    cold_total = sum(len(c) for c in chunks)
+    info = {
+        "workers": n_workers,
+        "partitions": len(streams),
+        "cold_kernels": cold_total,
+        "deduped_kernels": sum(len(v) for v in dupes.values()),
+        "pool_wall_seconds": round(wall, 6),
+        "worker_busy_seconds": [
+            round(float(i["busy_seconds"]), 6) for i in worker_info
+        ],
+        "pool_utilization": (
+            round(busy / (n_workers * wall), 4) if wall > 0 else 0.0
+        ),
+    }
+    return split(
+        _fill_serial(results, flat, config, dispatch_overhead)
+    ), info
 
 
 def _fill_serial(results, kernels, config, dispatch_overhead):

@@ -9,7 +9,12 @@ from .datasets import (
     load_dataset,
     small_dataset,
 )
-from .generators import clustered_graph, dense_graph, power_law_graph
+from .generators import (
+    clustered_graph,
+    dense_graph,
+    ogb_scale_graph,
+    power_law_graph,
+)
 from .sampling import (
     SampledSubgraph,
     induced_subgraph,
@@ -35,6 +40,7 @@ __all__ = [
     "khop_sampled_subgraph",
     "random_edge_sample",
     "dense_graph",
+    "ogb_scale_graph",
     "power_law_graph",
     "degree_cv",
     "degree_histogram",

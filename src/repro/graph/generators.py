@@ -22,7 +22,12 @@ import numpy as np
 
 from .csr import CSRGraph, coo_to_csr
 
-__all__ = ["power_law_graph", "clustered_graph", "dense_graph"]
+__all__ = [
+    "power_law_graph",
+    "clustered_graph",
+    "dense_graph",
+    "ogb_scale_graph",
+]
 
 
 def _dedupe(src: np.ndarray, dst: np.ndarray):
@@ -95,6 +100,73 @@ def power_law_graph(
         relabel = rng.permutation(num_nodes)
         src, dst = relabel[src], relabel[dst]
     return coo_to_csr(src, dst, num_nodes, name=name)
+
+
+def ogb_scale_graph(
+    num_nodes: int = 1_200_000,
+    avg_degree: float = 40.8,
+    *,
+    exponent: float = 2.4,
+    max_degree: int = 4096,
+    locality: float = 0.96,
+    seed: int = 0,
+    name: str = "ogb49m",
+) -> CSRGraph:
+    """Full-scale power-law graph (~49M edges at the defaults).
+
+    The reduced-scale generators above keep the tier-1 suite fast; this
+    one reproduces the *size* regime of the larger OGB datasets
+    (products-class density at a papers100M-direction node count), where
+    a monolithic plan exceeds the simulated device memory and execution
+    only becomes possible sharded across devices — the regime ROC and
+    NeuGraph were built for.  The defaults are sized against the 1 GiB
+    simulated device budget: the 512-dim input features alone need
+    ~2.3 GiB monolithic, still exceed one device at P=4 after edge-cut
+    replication (~2x at these locality settings), and first fit at
+    P=8 — so the 1/2/4/8 scaling curve records OOM cells until the
+    sharded regime genuinely begins.
+
+    Built straight into CSR: degrees draw the indptr, sources are
+    sampled per edge (community window + hub preferential mix, as in
+    :func:`power_law_graph`), and a single lexsort puts rows in the
+    canonical (dst-grouped, src-sorted) order.  Self-loops are shifted
+    rather than dropped so the degree array stays exact; duplicate
+    sources within a row are tolerated (real co-purchase graphs carry
+    multi-edges too).  No O(N^2) step anywhere — ~49M edges build in
+    seconds.
+    """
+    rng = np.random.default_rng(seed)
+    raw = rng.pareto(exponent - 1.0, size=num_nodes) + 1.0
+    deg = raw / raw.mean() * avg_degree
+    deg = np.minimum(deg, max_degree)
+    deg = np.maximum(np.round(deg).astype(np.int64), 1)
+    target_e = int(round(num_nodes * avg_degree))
+    scale = target_e / max(int(deg.sum()), 1)
+    deg = np.maximum(np.round(deg * scale).astype(np.int64), 1)
+    deg = np.minimum(deg, max_degree)
+    indptr = np.concatenate(
+        ([0], np.cumsum(deg))
+    ).astype(np.int64)
+    num_edges = int(indptr[-1])
+    dst = np.repeat(np.arange(num_nodes, dtype=np.int64), deg)
+    # Community windows scale with the destination's own degree so hubs
+    # reach past their window instead of collapsing onto duplicates.
+    comm_size = max(2, int(round(1.5 * avg_degree)))
+    comm_lo = (dst // comm_size) * comm_size
+    want = np.maximum(comm_size, 2 * deg[dst])
+    width = np.minimum(comm_lo + want, num_nodes) - comm_lo
+    comm_src = comm_lo + (
+        rng.random(num_edges) * width
+    ).astype(np.int64)
+    popularity = deg.astype(np.float64)
+    popularity /= popularity.sum()
+    hub_src = rng.choice(num_nodes, size=num_edges, p=popularity)
+    src = np.where(
+        rng.random(num_edges) < locality, comm_src, hub_src
+    )
+    src = np.where(src == dst, (src + 1) % num_nodes, src)
+    order = np.lexsort((src, dst))
+    return CSRGraph(indptr, src[order].astype(np.int32), name=name)
 
 
 def clustered_graph(

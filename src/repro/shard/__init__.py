@@ -1,0 +1,48 @@
+"""Multi-device sharded execution (graph partitioning + transfer model).
+
+The paper's strongest baselines — ROC and NeuGraph — are fundamentally
+multi-GPU systems: they shard the graph across devices, exchange
+halo/ghost features at layer boundaries, and overlap per-partition
+compute.  This package reproduces that execution model on top of the
+existing single-device simulator:
+
+* :mod:`repro.shard.partition` — deterministic edge-cut / vertex-cut
+  graph partitioning over the CSR, producing content-addressable
+  :class:`ShardPlan` artifacts with exact halo (ghost-node) and mirror
+  sets;
+* :mod:`repro.shard.cost` — the inter-device link model and the
+  first-class transfer :class:`~repro.gpusim.kernel.KernelSpec`s
+  (halo feature exchange, mirror partial-aggregate reduction) sized by
+  the DESIGN §5 byte conventions;
+* :mod:`repro.shard.run` — the high-level orchestrator: partition,
+  compile one :class:`~repro.core.plan.CompiledPlan` per partition
+  (the partitioning blob enters the plan key, so single-device plan
+  ids never move), and execute on the multi-device simulator
+  (:mod:`repro.gpusim.multidev`).
+
+The generalized happens-before checker
+(:func:`repro.analysis.hb.check_happens_before_multidev`) verifies the
+per-device streams: a ghost feature read before its exchange completes
+is a machine-checkable HB004 error.
+"""
+
+from .cost import LinkConfig, transfer_seconds
+from .partition import (
+    GraphPartition,
+    ShardPlan,
+    load_shard_plan,
+    partition_graph,
+    save_shard_plan,
+)
+from .run import run_sharded
+
+__all__ = [
+    "GraphPartition",
+    "ShardPlan",
+    "LinkConfig",
+    "partition_graph",
+    "save_shard_plan",
+    "load_shard_plan",
+    "transfer_seconds",
+    "run_sharded",
+]

@@ -1,0 +1,188 @@
+"""Inter-device link model and first-class transfer kernels.
+
+The multi-GPU GNN systems the paper benchmarks (ROC, NeuGraph) are
+dominated at scale by *IO*, not compute: every layer boundary moves the
+ghost (halo) feature rows between devices, and vertex-cut systems
+additionally reduce mirrored partial aggregates at each center's owner.
+This module prices that traffic and emits it as first-class
+:class:`~repro.gpusim.kernel.KernelSpec` objects with ``tag="transfer"``
+so transfers appear in kernel streams, lint passes and reports exactly
+like compute kernels.
+
+Byte sizing follows the DESIGN §5 conventions: feature rows are float32,
+so one node's layer-``l`` feature row is ``4 * feat_len`` bytes.  A halo
+exchange for partition ``p`` at layer ``l`` moves
+``sum_q halo_from[q] * 4F`` bytes over the link; a mirror reduction
+additionally pays one add per transferred float at the owner.
+
+Link parameters live in :class:`LinkConfig`, **not** in
+:class:`~repro.gpusim.config.GPUConfig`: the GPU config enters every
+plan's content address via ``dataclasses.asdict``, so adding fields
+there would silently move all plan ids and the pinned bench hashes.
+The link never affects single-device plans, so it stays out of the key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from ..gpusim.kernel import KernelDataflow, KernelSpec
+
+__all__ = [
+    "LinkConfig",
+    "transfer_seconds",
+    "halo_exchange_kernel",
+    "mirror_reduce_kernel",
+    "ghost_buffer",
+    "out_buffer",
+    "partial_buffer",
+]
+
+FLOAT_BYTES = 4  # float32 feature rows (DESIGN §5)
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkConfig:
+    """One inter-device link (NVLink-generation defaults).
+
+    ``bandwidth`` is the per-direction peer-to-peer bandwidth in bytes/s
+    (NVLink 2.0 on the V100 DGX boxes ROC/NeuGraph report on: ~50 GB/s
+    effective per link pair); ``latency`` the per-message fixed cost
+    (driver + DMA setup, ~5 us — same order as a kernel launch).
+    """
+
+    bandwidth: float = 50e9
+    latency: float = 5e-6
+
+    def seconds(self, payload_bytes: float, messages: int = 1) -> float:
+        """Time to move ``payload_bytes`` as ``messages`` transfers."""
+        if payload_bytes <= 0 and messages <= 0:
+            return 0.0
+        return max(messages, 1) * self.latency + (
+            payload_bytes / self.bandwidth
+        )
+
+
+def transfer_seconds(
+    payload_bytes: float, link: LinkConfig, *, messages: int = 1,
+    reduce_flops: float = 0.0, flops_per_second: float = 0.0,
+) -> float:
+    """Wall seconds for one transfer (+ optional on-arrival reduction)."""
+    t = link.seconds(payload_bytes, messages)
+    if reduce_flops > 0.0 and flops_per_second > 0.0:
+        t += reduce_flops / flops_per_second
+    return t
+
+
+# ----------------------------------------------------------------------
+# Buffer naming: the cross-device dataflow vocabulary.
+#
+# Per-device kernel streams prefix their compute buffers "d{p}/"; the
+# shard-level buffers below connect them.  ``out_buffer`` is the layer
+# output a device publishes, ``ghost_buffer`` the halo replica a device
+# reads during the next layer's aggregation, ``partial_buffer`` a
+# mirrored partial aggregate in flight to its owner.
+# ----------------------------------------------------------------------
+
+def out_buffer(device: int, layer: int) -> str:
+    return f"d{device}/L{layer}/out"
+
+
+def ghost_buffer(device: int, layer: int) -> str:
+    return f"d{device}/L{layer}/ghost"
+
+
+def partial_buffer(device: int, layer: int, owner: int) -> str:
+    return f"d{device}/L{layer}/partial@d{owner}"
+
+
+def halo_exchange_kernel(
+    device: int,
+    round_idx: int,
+    halo_by_owner: Dict[int, int],
+    feat_len: int,
+    *,
+    upstream_round: int | None,
+) -> KernelSpec:
+    """The halo feature exchange feeding ``device``'s round ``round_idx``.
+
+    Pulls each peer's published feature rows for the ghost nodes this
+    device reads during the round's aggregation; the kernel *reads*
+    every peer's ``upstream_round`` output and *writes* this device's
+    ghost buffer — the dataflow edge the per-device happens-before pass
+    orders aggregations against.  ``upstream_round=None`` marks the
+    first exchange of a plan whose ghost rows are statically resident at
+    the owners (raw inputs): it still pays link time but waits on no
+    peer compute.  One block per peer keeps per-peer payloads visible.
+    """
+    peers = sorted(q for q in halo_by_owner if q != device)
+    row_bytes = FLOAT_BYTES * feat_len
+    payloads = np.array(
+        [halo_by_owner[q] * row_bytes for q in peers], dtype=np.float64
+    )
+    if payloads.size == 0:
+        payloads = np.zeros(1, dtype=np.float64)
+    reads = (
+        tuple(out_buffer(q, upstream_round) for q in peers)
+        if upstream_round is not None else ()
+    )
+    flow = KernelDataflow(
+        reads=reads,
+        writes=(ghost_buffer(device, round_idx),),
+        sync_writes=(ghost_buffer(device, round_idx),),
+    )
+    return KernelSpec(
+        name=f"d{device}.L{round_idx}.halo_exchange",
+        block_flops=np.zeros(payloads.shape[0]),
+        stream_bytes=payloads,
+        counts_launch=True,
+        tag="transfer",
+        dataflow=flow,
+    )
+
+
+def mirror_reduce_kernel(
+    device: int,
+    round_idx: int,
+    mirror_by_source: Dict[int, int],
+    feat_len: int,
+    *,
+    publishes: tuple = (),
+) -> KernelSpec:
+    """The mirror partial-aggregate reduction at owner ``device``.
+
+    Vertex-cut spill: peers that aggregated edges of centers owned here
+    send their partial rows, and the owner adds them into its round
+    output (one FLOP per float received).  Reads each peer's in-flight
+    partial buffer and re-publishes ``publishes`` — normally the
+    aggregation output buffers of the owner's own segment, so every
+    downstream reader of the aggregation is ordered after the reduction
+    completes.
+    """
+    peers = sorted(q for q in mirror_by_source if q != device)
+    row_bytes = FLOAT_BYTES * feat_len
+    payloads = np.array(
+        [mirror_by_source[q] * row_bytes for q in peers], dtype=np.float64
+    )
+    if payloads.size == 0:
+        payloads = np.zeros(1, dtype=np.float64)
+    publishes = tuple(publishes)
+    flow = KernelDataflow(
+        reads=tuple(
+            partial_buffer(q, round_idx, device) for q in peers
+        ),
+        writes=publishes,
+        sync_writes=publishes,
+        aggregate=True,
+    )
+    return KernelSpec(
+        name=f"d{device}.L{round_idx}.mirror_reduce",
+        block_flops=payloads / FLOAT_BYTES,  # one add per float
+        stream_bytes=payloads,
+        counts_launch=True,
+        tag="transfer",
+        dataflow=flow,
+    )

@@ -1,0 +1,114 @@
+"""High-level sharded execution: partition, compile per part, run.
+
+:func:`run_sharded` is the one-call entry the CLI and benchmarks use:
+
+1. partition the graph (:func:`repro.shard.partition.partition_graph`);
+2. compile one plan per partition on its *local* graph — the
+   partitioning blob enters each plan's content address (see
+   ``Framework.compile(shard_options=...)``), so per-partition plans
+   cache independently and single-device plan ids never move;
+3. stitch the plans into per-device streams with transfer kernels and
+   dependency edges (:func:`repro.gpusim.multidev.build_shard_streams`);
+4. optionally lint the streams with the generalized happens-before
+   checker — a partition stream that reads ghost features before their
+   exchange is a machine-caught HB004/HB001, not a silent wrong answer;
+5. execute on the multi-device simulator (:func:`run_multidev`).
+
+Per-partition compilation is where sharding pays off against device
+memory: a graph whose monolithic plan raises
+:class:`~repro.gpusim.memory.SimulatedOOM` often compiles fine split
+into partitions — the ROC/NeuGraph "runnable once sharded" story.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..gpusim.config import GPUConfig
+from ..gpusim.metrics import RunReport
+from ..graph.csr import CSRGraph
+from ..perf import PERF
+from .cost import LinkConfig
+from .partition import ShardPlan, partition_graph
+
+__all__ = ["ShardResult", "run_sharded"]
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """Everything one sharded execution produced."""
+
+    shard: ShardPlan
+    plans: List[object]            # CompiledPlan per partition
+    streams: object                # gpusim.multidev.ShardStreams
+    report: RunReport
+    findings: List[object]         # analysis.Finding from the HB pass
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.report.extra["perf"]["shard"]["wall_seconds"]
+
+    @property
+    def errors(self) -> List[object]:
+        from ..analysis.findings import ERROR
+
+        return [f for f in self.findings if f.severity == ERROR]
+
+
+def run_sharded(
+    framework,
+    model_name: str,
+    graph: CSRGraph,
+    sim: GPUConfig,
+    *,
+    num_parts: int,
+    method: str = "edge_cut",
+    model=None,
+    link: LinkConfig = LinkConfig(),
+    lint: bool = True,
+    shard: Optional[ShardPlan] = None,
+) -> ShardResult:
+    """Partition ``graph``, compile per partition, run multi-device.
+
+    ``framework`` is a :class:`~repro.frameworks.base.Framework`
+    instance.  Pass a pre-computed ``shard`` (e.g. loaded from a saved
+    artifact) to skip partitioning; its method/parts take precedence.
+    """
+    from ..analysis.hb import check_happens_before_multidev
+    from ..gpusim.multidev import build_shard_streams, run_multidev
+
+    if shard is None:
+        with PERF.stage("shard_partition"):
+            shard = partition_graph(graph, num_parts, method)
+    plans = []
+    with PERF.stage("shard_compile"):
+        for part in shard.parts:
+            plans.append(framework.compile(
+                model_name, part.local_graph, sim, model=model,
+                shard_options=shard.options_blob(part.part_id),
+            ))
+    streams = build_shard_streams(shard, plans, link)
+    findings: List[object] = []
+    if lint:
+        findings = check_happens_before_multidev(
+            streams.streams, streams.deps
+        )
+    report = run_multidev(
+        shard, plans, sim, link, streams=streams
+    )
+    if lint:
+        by_sev: dict = {}
+        for f in findings:
+            by_sev[f.severity] = by_sev.get(f.severity, 0) + 1
+        report.extra["perf"]["shard"]["lint"] = {
+            "findings": len(findings),
+            "by_severity": by_sev,
+        }
+    return ShardResult(
+        shard=shard,
+        plans=plans,
+        streams=streams,
+        report=report,
+        findings=findings,
+    )

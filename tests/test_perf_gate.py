@@ -98,6 +98,62 @@ class TestCheckRegression:
         assert bench.check_regression([], _record(99.0)) is None
 
 
+class TestComparableRecordFields:
+    """Newer records carry extra fields; the gate must stay keyed to
+    like-for-like configurations and simply ignore the additions."""
+
+    def test_worker_count_mismatch_never_gates(self):
+        prior = _record(10.0)
+        prior["workers"] = 4  # pool-parallel record
+        assert bench.check_regression(
+            [prior], _record(50.0), tolerance=0.20
+        ) is None
+
+    def test_same_worker_count_still_gates(self):
+        prior = _record(10.0)
+        prior["workers"] = 4
+        fresh = _record(50.0)
+        fresh["workers"] = 4
+        assert bench.check_regression(
+            [prior], fresh, tolerance=0.20
+        ) is not None
+
+    def test_cache_model_mode_mismatch_never_gates(self):
+        prior = _record(10.0)
+        prior["cache_model_mode"] = "approx"
+        assert bench.check_regression(
+            [prior], _record(50.0), tolerance=0.20
+        ) is None
+
+    def test_unknown_extra_fields_are_tolerated(self):
+        # warm-plan and pool-utilization fields ride along without
+        # entering the comparability key.
+        prior = _record(10.0)
+        prior.update(warm_seconds=1.0, pool_utilization=0.9)
+        fresh = _record(12.5)
+        fresh.update(warm_seconds=0.9, pool_utilization=0.8)
+        assert bench.check_regression(
+            [prior], fresh, tolerance=0.20
+        ) is not None
+        assert bench.check_regression(
+            [prior], _record(10.1), tolerance=0.20
+        ) is None
+
+    def test_scaling_records_never_gate_quick(self):
+        # bench_scaling.py appends "scaling-quick"/"scaling-full"
+        # records to the same trajectory file; they have no
+        # fast_seconds and a different workload name.
+        scaling = {
+            "workload": "scaling-quick",
+            "method": "edge_cut",
+            "workers": 1,
+            "curves": {"arxiv": {"gcn": {"1": {"wall_ms": 2.0}}}},
+        }
+        assert bench.check_regression(
+            [scaling], _record(50.0), tolerance=0.20
+        ) is None
+
+
 class TestGateVerdict:
     """The combined two-signal gate (``gate_verdict``)."""
 

@@ -160,6 +160,23 @@ class TestCLISarifAgainstSchema:
         # validated log is non-trivial.
         assert log["runs"][0]["results"]
 
+    def test_shard_run_export_validates(self, tmp_path, capsys):
+        # The multi-device HB lint exports through the same SARIF
+        # writer; a corrupted stream is flagged with the cross-device
+        # codes, so drive the clean path end to end here and rely on
+        # test_every_registered_code_validates for HB004/HB005 shape.
+        from repro.cli import main
+
+        path = tmp_path / "shard.sarif"
+        rc = main(["shard", "run", "--dataset", "arxiv",
+                   "--model", "gcn", "--parts", "2",
+                   "--sarif", str(path)])
+        capsys.readouterr()
+        assert rc == 0
+        log = json.loads(path.read_text())
+        validate_sarif(log)
+        assert log["runs"][0]["results"] == []  # lint-clean streams
+
     def test_validator_rejects_malformed_logs(self):
         good = _report_with(sorted(CODES)[:1]).to_sarif()
         bad_version = {**good, "version": "2.0.0"}

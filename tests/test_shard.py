@@ -1,0 +1,193 @@
+"""Partitioner property tests: coverage, halo exactness, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    clustered_graph,
+    ogb_scale_graph,
+    power_law_graph,
+)
+from repro.shard import (
+    ShardPlan,
+    load_shard_plan,
+    partition_graph,
+    save_shard_plan,
+)
+
+GRAPHS = [
+    power_law_graph(800, avg_degree=6, seed=3, name="pl800"),
+    clustered_graph(600, avg_degree=5, seed=7, name="cl600"),
+    ogb_scale_graph(2000, 8.0, seed=5, name="mini"),
+]
+PARTS = [1, 2, 3, 4, 7]
+
+
+def _global_edges(graph):
+    """Multiset of (dst, src) pairs of the whole graph."""
+    dst = np.repeat(
+        np.arange(graph.num_nodes, dtype=np.int64),
+        np.diff(graph.indptr),
+    )
+    return np.stack([dst, graph.indices.astype(np.int64)], axis=1)
+
+
+def _part_edges(part):
+    """Each partition edge mapped back to global (dst, src) ids."""
+    local = part.local_graph
+    n_centers = part.centers.size
+    c_lo = int(part.centers[0]) if n_centers else 0
+    dst_local = np.repeat(
+        np.arange(local.num_nodes, dtype=np.int64),
+        np.diff(local.indptr),
+    )
+    src_local = local.indices.astype(np.int64)
+    dst = dst_local + c_lo          # rows only exist for centers
+    src = np.where(
+        src_local < n_centers,
+        src_local + c_lo,
+        part.halo[np.maximum(src_local - n_centers, 0)]
+        if part.halo.size else src_local,
+    )
+    return np.stack([dst, src], axis=1)
+
+
+def _sorted_rows(pairs):
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[order]
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+@pytest.mark.parametrize("method", ["edge_cut", "vertex_cut"])
+@pytest.mark.parametrize("num_parts", PARTS)
+class TestPartitionProperties:
+    def test_every_edge_in_exactly_one_partition(
+        self, graph, method, num_parts
+    ):
+        # The union of the partitions' edges, mapped back to global
+        # ids, is the original edge multiset — nothing lost, nothing
+        # duplicated (for vertex-cut this also proves hub-spill rows
+        # clip exactly).
+        plan = partition_graph(graph, num_parts, method)
+        got = np.concatenate([_part_edges(p) for p in plan.parts])
+        want = _global_edges(graph)
+        assert got.shape == want.shape
+        assert np.array_equal(_sorted_rows(got), _sorted_rows(want))
+
+    def test_every_vertex_has_exactly_one_owner(
+        self, graph, method, num_parts
+    ):
+        plan = partition_graph(graph, num_parts, method)
+        assert plan.owner.shape == (graph.num_nodes,)
+        assert plan.owner.min() >= 0
+        assert plan.owner.max() < num_parts
+        owned = np.concatenate(
+            [p.owned_centers for p in plan.parts]
+        )
+        assert np.array_equal(np.sort(owned),
+                              np.arange(graph.num_nodes))
+        for p in plan.parts:
+            assert np.all(plan.owner[p.owned_centers] == p.part_id)
+
+    def test_halo_is_exactly_the_cross_partition_frontier(
+        self, graph, method, num_parts
+    ):
+        # Recompute each partition's ghost set from first principles:
+        # the distinct sources of its edges outside the contiguous
+        # center range (for edge-cut that is exactly "owner is another
+        # partition"; vertex-cut mirrors inside the range already hold
+        # local feature rows, so only out-of-range sources need an
+        # exchange).  Every ghost must be owned elsewhere.
+        plan = partition_graph(graph, num_parts, method)
+        for p in plan.parts:
+            edges = _part_edges(p)
+            src = edges[:, 1]
+            if p.centers.size:
+                c_lo, c_hi = int(p.centers[0]), int(p.centers[-1]) + 1
+                outside = (src < c_lo) | (src >= c_hi)
+            else:
+                outside = np.ones(src.shape[0], dtype=bool)
+            frontier = np.unique(src[outside])
+            assert np.array_equal(p.halo, frontier)
+            assert np.array_equal(
+                p.halo_owner, plan.owner[p.halo].astype(np.int32)
+            )
+            assert not np.any(p.halo_owner == p.part_id)
+
+    def test_mirror_partials_complete_every_degree(
+        self, graph, method, num_parts
+    ):
+        # Summing each center's local in-degree over all partitions
+        # that aggregate for it must recover the global degree — the
+        # invariant the mirror reduction relies on.
+        plan = partition_graph(graph, num_parts, method)
+        deg = np.zeros(graph.num_nodes, dtype=np.int64)
+        for p in plan.parts:
+            n_centers = p.centers.size
+            local_deg = np.diff(p.local_graph.indptr)[:n_centers]
+            np.add.at(deg, p.centers, local_deg)
+        assert np.array_equal(deg, np.diff(graph.indptr))
+
+
+@pytest.mark.parametrize("method", ["edge_cut", "vertex_cut"])
+class TestSingleDeviceIdentity:
+    def test_one_partition_is_byte_identical(self, method):
+        # The P=1 "shard" must be a no-op: local CSR arrays byte-equal
+        # to the input, empty halo/mirrors.
+        g = GRAPHS[0]
+        plan = partition_graph(g, 1, method)
+        (part,) = plan.parts
+        assert part.local_graph.indptr.tobytes() == g.indptr.tobytes()
+        assert (part.local_graph.indices.tobytes()
+                == g.indices.tobytes())
+        assert part.halo.size == 0
+        assert part.mirrors.size == 0
+        assert np.array_equal(part.owned_centers,
+                              np.arange(g.num_nodes))
+
+
+class TestDeterminismAndPersistence:
+    def test_fingerprint_is_deterministic_and_content_addressed(self):
+        g = GRAPHS[0]
+        a = partition_graph(g, 4, "edge_cut")
+        b = partition_graph(g, 4, "edge_cut")
+        assert a.fingerprint == b.fingerprint
+        assert (a.fingerprint
+                != partition_graph(g, 2, "edge_cut").fingerprint)
+        assert (a.fingerprint
+                != partition_graph(g, 4, "vertex_cut").fingerprint)
+
+    @pytest.mark.parametrize("method", ["edge_cut", "vertex_cut"])
+    def test_save_load_roundtrip(self, tmp_path, method):
+        g = GRAPHS[1]
+        plan = partition_graph(g, 3, method)
+        path = save_shard_plan(str(tmp_path), plan)
+        loaded = load_shard_plan(path)
+        assert isinstance(loaded, ShardPlan)
+        assert loaded.fingerprint == plan.fingerprint
+        assert loaded.method == plan.method
+        for a, b in zip(plan.parts, loaded.parts):
+            assert np.array_equal(a.centers, b.centers)
+            assert np.array_equal(a.halo, b.halo)
+            assert np.array_equal(a.mirrors, b.mirrors)
+            assert (a.local_graph.indices.tobytes()
+                    == b.local_graph.indices.tobytes())
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "shard_dead.npz"
+        path.write_bytes(b"not an npz")
+        with pytest.warns(UserWarning):
+            assert load_shard_plan(str(path)) is None
+
+    def test_options_blob_is_per_partition(self):
+        plan = partition_graph(GRAPHS[0], 2, "edge_cut")
+        b0 = plan.options_blob(0)
+        b1 = plan.options_blob(1)
+        assert b0["shard_fingerprint"] == plan.fingerprint
+        assert b0 != b1 and b0["part"] == 0 and b1["part"] == 1
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            partition_graph(GRAPHS[0], 0)
+        with pytest.raises(ValueError):
+            partition_graph(GRAPHS[0], 2, "metis")
