@@ -550,6 +550,105 @@ def cmd_shard(args) -> int:
     return args.shard_func(args)
 
 
+# ----------------------------------------------------------------------
+# repro serve — batched multi-tenant plan serving
+# ----------------------------------------------------------------------
+
+def cmd_serve_replay(args) -> int:
+    from .analysis import INFO, AnalysisReport, lint_plan
+    from .serve import (
+        AdmissionPolicy,
+        PlanServer,
+        TraceSpec,
+        replay,
+        synthetic_trace,
+    )
+
+    frameworks = all_frameworks()
+    tenant_fws = args.frameworks or ["dgl", "ours", "pyg"]
+    for f in tenant_fws:
+        if f not in frameworks:
+            raise SystemExit(
+                f"unknown framework {f!r}; choose from {list(frameworks)}"
+            )
+    tenants = tuple(
+        (f"tenant-{chr(ord('a') + i)}", tenant_fws[i % len(tenant_fws)])
+        for i in range(args.tenants)
+    )
+    spec = TraceSpec(
+        num_requests=args.requests,
+        datasets=tuple(_dataset_list(args)),
+        models=tuple(args.models or ["gcn", "gat"]),
+        tenants=tenants,
+        pool_per_dataset=args.pool,
+        seed=args.seed,
+    )
+    print(f"trace: {spec.describe()}")
+    policy = AdmissionPolicy(
+        max_nodes=args.max_nodes, max_edges=args.max_edges
+    )
+    server = PlanServer(
+        frameworks=frameworks, sim=bench_config(), policy=policy
+    )
+    trace = synthetic_trace(spec)
+    summaries = replay(server, trace, window=args.window)
+    stats = server.stats()
+    rows = []
+    for tenant, summary in stats["tenants"].items():
+        rows.append([
+            tenant, summary["count"],
+            round(summary["p50"] * 1e3, 3),
+            round(summary["p95"] * 1e3, 3),
+            round(summary["p99"] * 1e3, 3),
+            round(summary["max"] * 1e3, 3),
+        ])
+    print(format_table(
+        "per-tenant serving latency (host ms)",
+        ["tenant", "requests", "p50", "p95", "p99", "max"],
+        rows,
+    ))
+    rejected = [s for s in summaries if s["status"] != "ok"]
+    print(
+        f"served {stats['served']}/{stats['submitted']} request(s) in "
+        f"{stats['batches']} batch(es) (max batch {stats['max_batch']}, "
+        f"{100 * stats['batch_dedup_rate']:.1f}% fanned out, "
+        f"plan-cache hit rate "
+        f"{100 * stats['plan_cache_hit_rate']:.1f}%), "
+        f"{len(rejected)} rejected"
+    )
+    if args.json:
+        print(json.dumps(
+            {"stats": stats, "spec": spec.describe()}, indent=2,
+            default=str,
+        ))
+    status = 0
+    if not args.no_lint:
+        merged = AnalysisReport(label="serve-replay")
+        for _, (fw_name, plan, graph) in sorted(
+            server.served_plans.items()
+        ):
+            report = lint_plan(plan, graph=graph)
+            merged.merge(report)
+            for f in report.findings:
+                if f.severity != INFO:
+                    print(f"{fw_name}:{plan.label}: {f.format()}")
+        infos = sum(1 for f in merged.findings if f.severity == INFO)
+        print(
+            f"served-plan lint: {len(server.served_plans)} plan(s), "
+            f"{len(merged.findings)} finding(s) "
+            f"({infos} info, {len(merged.findings) - infos} gating)"
+        )
+        if args.sarif:
+            _write_sarif(args.sarif, merged)
+        if not merged.gate(args.fail_on):
+            status = 1
+    return status
+
+
+def cmd_serve(args) -> int:
+    return args.serve_func(args)
+
+
 def cmd_schedule(args) -> int:
     g = load_dataset(args.dataset)
     sched = cached_schedule(g)
@@ -773,6 +872,51 @@ def build_parser() -> argparse.ArgumentParser:
     ssp.add_argument("--sarif", default=None, metavar="PATH",
                      help="write HB findings as SARIF 2.1.0 JSON")
     ssp.set_defaults(func=cmd_shard, shard_func=cmd_shard_run)
+
+    sp = sub.add_parser(
+        "serve",
+        help="batched multi-tenant plan serving (PlanServer)",
+    )
+    serve_sub = sp.add_subparsers(dest="serve_command", required=True)
+
+    vsp = serve_sub.add_parser(
+        "replay",
+        help="replay a synthetic multi-tenant trace through PlanServer",
+    )
+    vsp.add_argument("--requests", type=int, default=200,
+                     help="trace length (default: 200)")
+    vsp.add_argument("--tenants", type=int, default=3,
+                     help="number of tenants (default: 3)")
+    vsp.add_argument("--frameworks", nargs="+", default=None,
+                     help="frameworks cycled across tenants "
+                          "(default: dgl ours pyg)")
+    vsp.add_argument("--datasets", nargs="+", default=["arxiv", "ddi"],
+                     help="datasets sampled for request subgraphs")
+    vsp.add_argument("--models", nargs="+", default=None,
+                     choices=["gcn", "gat", "sage_lstm"],
+                     help="model mix (default: gcn gat)")
+    vsp.add_argument("--pool", type=int, default=4,
+                     help="sampled shapes per dataset (default: 4)")
+    vsp.add_argument("--window", type=int, default=64,
+                     help="batching window in requests (default: 64)")
+    vsp.add_argument("--seed", type=int, default=0,
+                     help="trace seed (default: 0)")
+    vsp.add_argument("--max-nodes", type=int, default=None,
+                     dest="max_nodes",
+                     help="admission cap on request nodes")
+    vsp.add_argument("--max-edges", type=int, default=None,
+                     dest="max_edges",
+                     help="admission cap on request edges")
+    vsp.add_argument("--json", action="store_true",
+                     help="print full server stats as JSON")
+    vsp.add_argument("--no-lint", action="store_true", dest="no_lint",
+                     help="skip linting the served plans")
+    vsp.add_argument("--fail-on", choices=["error", "warning"],
+                     default="error", dest="fail_on",
+                     help="findings severity that fails the replay")
+    vsp.add_argument("--sarif", default=None, metavar="PATH",
+                     help="write served-plan findings as SARIF 2.1.0")
+    vsp.set_defaults(func=cmd_serve, serve_func=cmd_serve_replay)
     return p
 
 

@@ -24,7 +24,8 @@ import dataclasses
 import hashlib
 import json
 import os
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +44,7 @@ __all__ = [
     "LayerRecord",
     "CompiledPlan",
     "plan_key",
+    "plan_nbytes",
     "PlanCache",
     "PLAN_CACHE",
 ]
@@ -230,19 +232,69 @@ def plan_key(
     return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
 
 
+def plan_nbytes(plan: CompiledPlan) -> int:
+    """Approximate in-memory footprint of a plan (size-aware eviction).
+
+    Counts the array payloads — kernel pricing arrays and per-layer
+    layout arrays — which dominate a plan's memory by orders of
+    magnitude; the Python object overhead is folded into a small
+    per-kernel constant.
+    """
+    total = 0
+    for k in plan.kernels:
+        for arr in (k.block_flops, k.row_ptr, k.row_ids,
+                    k.stream_bytes, k.atomics, k.block_center):
+            if arr is not None:
+                total += arr.nbytes
+        total += 512  # object + dataflow overhead
+    for rec in plan.layers:
+        for arr in (rec.group_ptr, rec.group_center,
+                    rec.needs_atomic, rec.center_order):
+            if arr is not None:
+                total += arr.nbytes
+    return total
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name)
+    if raw in (None, ""):
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
 class PlanCache:
-    """Content-addressed plan store: in-process dict + optional disk tier.
+    """Content-addressed plan store: in-process LRU + optional disk tier.
 
     The in-memory tier follows the global memoization switch
     (``REPRO_KERNEL_MEMO``); the disk tier activates when a directory is
     configured (``REPRO_PLAN_CACHE_DIR`` or :meth:`set_disk_dir`).
     Artifacts are one ``plan_<key>.npz`` file each, written atomically
     by :func:`repro.core.persistence.save_plan`.
+
+    Admission/eviction policy: unbounded by default (exactly the
+    historical behaviour), and LRU with size-aware eviction once a
+    capacity is set — either per constructor / :meth:`set_capacity`, or
+    via ``REPRO_PLAN_CACHE_ENTRIES`` / ``REPRO_PLAN_CACHE_BYTES``.  The
+    byte budget uses :func:`plan_nbytes`; eviction drops
+    least-recently-used plans until both budgets hold (always keeping
+    the most recent plan, so a single oversized plan still caches).
+    Hits, misses and evictions are counted in :data:`repro.perf.PERF`
+    under ``plan_cache_*`` and summarized by :meth:`stats`.
     """
 
-    def __init__(self, disk_dir: Optional[str] = None) -> None:
-        self._mem: Dict[str, CompiledPlan] = {}
+    def __init__(self, disk_dir: Optional[str] = None,
+                 max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None) -> None:
+        self._mem: "OrderedDict[str, Tuple[CompiledPlan, int]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
         self._disk_dir = disk_dir
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
         _ALL_CACHES.append(self)
 
     @property
@@ -256,28 +308,80 @@ class PlanCache:
         return os.path.join(self.disk_dir, f"plan_{key}.npz")
 
     # ------------------------------------------------------------------
+    # Capacity policy
+    # ------------------------------------------------------------------
+    @property
+    def max_entries(self) -> Optional[int]:
+        if self._max_entries is not None:
+            return self._max_entries
+        return _env_int("REPRO_PLAN_CACHE_ENTRIES")
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        if self._max_bytes is not None:
+            return self._max_bytes
+        return _env_int("REPRO_PLAN_CACHE_BYTES")
+
+    def set_capacity(self, max_entries: Optional[int] = None,
+                     max_bytes: Optional[int] = None) -> None:
+        """Bound the in-memory tier; ``None`` means unbounded."""
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._evict()
+
+    def _evict(self) -> None:
+        max_entries, max_bytes = self.max_entries, self.max_bytes
+        while len(self._mem) > 1 and (
+            (max_entries is not None and len(self._mem) > max_entries)
+            or (max_bytes is not None and self._bytes > max_bytes)
+        ):
+            _, (_, dropped) = self._mem.popitem(last=False)
+            self._bytes -= dropped
+            PERF.count("plan_cache_evict")
+        if max_entries is not None and max_entries < 1 and self._mem:
+            # A zero budget still admits nothing.
+            _, (_, dropped) = self._mem.popitem(last=False)
+            self._bytes -= dropped
+            PERF.count("plan_cache_evict")
+
+    # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[CompiledPlan]:
         if not memo_enabled():
             return None
-        plan = self._mem.get(key)
-        if plan is not None:
+        entry = self._mem.get(key)
+        if entry is not None:
+            self._mem.move_to_end(key)
             PERF.count("plan_cache_hit")
-            return plan
+            return entry[0]
         if self.disk_dir:
             from .persistence import load_plan
 
             plan = load_plan(self.disk_path(key), expect_id=key)
             if plan is not None:
                 PERF.count("plan_cache_disk_hit")
-                self._mem[key] = plan
+                self._admit(plan)
                 return plan
         PERF.count("plan_cache_miss")
         return None
 
+    def contains(self, key: str) -> bool:
+        """Peek at the in-memory tier without touching counters or LRU
+        order (the serve layer's batch planner uses this to predict
+        which batches compile cold)."""
+        return key in self._mem
+
+    def _admit(self, plan: CompiledPlan) -> None:
+        nbytes = plan_nbytes(plan)
+        if plan.plan_id in self._mem:
+            self._bytes -= self._mem.pop(plan.plan_id)[1]
+        self._mem[plan.plan_id] = (plan, nbytes)
+        self._bytes += nbytes
+        self._evict()
+
     def put(self, plan: CompiledPlan) -> None:
         if not memo_enabled():
             return
-        self._mem[plan.plan_id] = plan
+        self._admit(plan)
         if self.disk_dir:
             from .persistence import save_plan
 
@@ -286,9 +390,32 @@ class PlanCache:
     def clear(self) -> None:
         """Drop the in-memory tier (disk artifacts stay)."""
         self._mem.clear()
+        self._bytes = 0
 
     def __len__(self) -> int:
         return len(self._mem)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def stats(self) -> Dict[str, object]:
+        """Counters + occupancy for PERF surfacing and serve reports."""
+        hits = PERF.counts.get("plan_cache_hit", 0)
+        disk_hits = PERF.counts.get("plan_cache_disk_hit", 0)
+        misses = PERF.counts.get("plan_cache_miss", 0)
+        total = hits + disk_hits + misses
+        return {
+            "entries": len(self._mem),
+            "nbytes": self._bytes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "hits": hits,
+            "disk_hits": disk_hits,
+            "misses": misses,
+            "evictions": PERF.counts.get("plan_cache_evict", 0),
+            "hit_rate": (hits + disk_hits) / total if total else 0.0,
+        }
 
 
 #: The process-wide plan cache every framework compiles through.

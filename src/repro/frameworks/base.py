@@ -159,37 +159,35 @@ class Framework(abc.ABC):
             label=f"{self.name}:{model_name}:{graph.name}",
         )
 
-    def compile(
+    def plan_signature(
         self,
         model_name: str,
         graph: CSRGraph,
         sim: GPUConfig,
         model=None,
         shard_options: Optional[Dict[str, object]] = None,
-    ) -> CompiledPlan:
-        """Resolve a plan for (model, graph, sim): cache hit or compile.
+    ):
+        """The content address :meth:`compile` resolves — no compiling.
 
-        The content address is computed from the compilation inputs, so
-        a hit skips the staged pipeline entirely — the compile-once half
-        of the compile-once/run-many contract.
+        Returns ``(key, model, cacheable)``.  The serve layer's batcher
+        groups requests by this key: two requests with the same
+        signature share one compilation and one simulated execution.
+        The opt-in optimizer changes what the pipeline produces, so it
+        must change the content address too: the flag enters the
+        options blob of plan_key (never OursOptions — that would move
+        every default-path plan id), keeping optimized and default
+        artifacts distinct in both cache tiers.  Sharded compilation
+        follows the same opt-in pattern: the partitioning blob
+        (method/parts/part/shard fingerprint) joins the options only
+        when present, so every single-device plan id stays put while
+        per-partition plans get their own content addresses.
         """
         if model_name not in _DEFAULT_MODELS:
             raise KeyError(f"unknown model {model_name!r}")
         if model is None:
             model = _DEFAULT_MODELS[model_name]()
-        cacheable = self.plan_cache_enabled()
-        # The opt-in optimizer changes what the pipeline produces, so it
-        # must change the content address too: the flag enters the
-        # options blob of plan_key (never OursOptions — that would move
-        # every default-path plan id), keeping optimized and default
-        # artifacts distinct in both cache tiers.  Sharded compilation
-        # follows the same opt-in pattern: the partitioning blob
-        # (method/parts/part/shard fingerprint) joins the options only
-        # when present, so every single-device plan id stays put while
-        # per-partition plans get their own content addresses.
-        optimizing = optimize_enabled()
         options = self.plan_options()
-        if optimizing:
+        if optimize_enabled():
             options = {**options, "optimize": True}
         if shard_options:
             options = {**options, "shard": dict(shard_options)}
@@ -200,6 +198,34 @@ class Framework(abc.ABC):
             gpu_config=sim,
             dispatch_overhead=self.dispatch_overhead,
         )
+        return key, model, self.plan_cache_enabled()
+
+    def compile(
+        self,
+        model_name: str,
+        graph: CSRGraph,
+        sim: GPUConfig,
+        model=None,
+        shard_options: Optional[Dict[str, object]] = None,
+        signature=None,
+    ) -> CompiledPlan:
+        """Resolve a plan for (model, graph, sim): cache hit or compile.
+
+        The content address is computed from the compilation inputs, so
+        a hit skips the staged pipeline entirely — the compile-once half
+        of the compile-once/run-many contract.  A caller that already
+        holds this compilation's :meth:`plan_signature` result (the
+        serve batcher computes one per request) passes it as
+        ``signature`` to skip recomputing the content address.
+        """
+        if signature is not None:
+            key, model, cacheable = signature
+        else:
+            key, model, cacheable = self.plan_signature(
+                model_name, graph, sim, model=model,
+                shard_options=shard_options,
+            )
+        optimizing = optimize_enabled()
         if cacheable:
             cached = PLAN_CACHE.get(key)
             if cached is not None:
@@ -308,27 +334,23 @@ class Framework(abc.ABC):
         raise KeyError(f"unknown model {model_name!r}")
 
     # ------------------------------------------------------------------
-    # Generic run = compile + execute
+    # Generic run = one request through the serving pipeline
     # ------------------------------------------------------------------
     def _run(
         self, model_name: str, graph: CSRGraph, model, sim: GPUConfig,
         *, compute: bool, feat, seed: int,
     ) -> ForwardResult:
-        hits_before = (
-            PERF.counts.get("plan_cache_hit", 0)
-            + PERF.counts.get("plan_cache_disk_hit", 0)
-        )
-        plan = self.compile(model_name, graph, sim, model=model)
-        cache_hit = (
-            PERF.counts.get("plan_cache_hit", 0)
-            + PERF.counts.get("plan_cache_disk_hit", 0)
-        ) > hits_before
-        result = self.execute(
-            plan, sim, graph=graph, model=model,
+        # The run path *is* the single-request case of the serving
+        # pipeline (admission -> plan resolution -> execution -> report);
+        # routing it through repro.serve keeps one implementation of
+        # plan-cache bookkeeping for interactive runs and PlanServer
+        # batches alike.  Imported lazily: serve depends on this module.
+        from ..serve import execute_one
+
+        return execute_one(
+            self, model_name, graph, sim, model=model,
             compute=compute, feat=feat, seed=seed,
         )
-        result.report.extra["perf"]["plan"]["cache_hit"] = cache_hit
-        return result
 
     def run_gcn(self, graph, model: GCNConfig, sim: GPUConfig, *,
                 compute=False, feat=None, seed=0) -> ForwardResult:

@@ -72,6 +72,7 @@ __all__ = [
     "simulate_kernel",
     "simulate_kernels",
     "simulate_plan",
+    "plan_memo_key",
     "block_durations",
     "interleaved_order",
 ]
@@ -688,6 +689,22 @@ def simulate_kernels(
     return report
 
 
+def plan_memo_key(plan, config: GPUConfig | None = None):
+    """The :data:`PLAN_MEMO` address of one plan execution.
+
+    Exposed so the serve layer can peek at which plans of a batching
+    round will simulate cold (and push exactly those through the worker
+    pool) without perturbing the memo's hit/miss counters.
+    """
+    cfg = config if config is not None else plan.gpu_config
+    return (
+        plan.plan_id,
+        dataclasses.astuple(cfg),
+        plan.dispatch_overhead,
+        cache_model_mode(),
+    )
+
+
 def simulate_plan(plan, config: GPUConfig | None = None) -> RunReport:
     """Execute a :class:`~repro.core.plan.CompiledPlan`.
 
@@ -705,12 +722,7 @@ def simulate_plan(plan, config: GPUConfig | None = None) -> RunReport:
             peak_mem_bytes=plan.peak_mem_bytes,
             dispatch_overhead=plan.dispatch_overhead,
         )
-    key = (
-        plan.plan_id,
-        dataclasses.astuple(cfg),
-        plan.dispatch_overhead,
-        cache_model_mode(),
-    )
+    key = plan_memo_key(plan, cfg)
     cached = PLAN_MEMO.get(key)
     if cached is not None:
         report = RunReport(
@@ -738,5 +750,9 @@ def simulate_plan(plan, config: GPUConfig | None = None) -> RunReport:
         dispatch_overhead=plan.dispatch_overhead,
     )
     report.extra["perf"]["plan_memo_hit"] = False
-    PLAN_MEMO.put(key, tuple(report.kernels))
+    stats_tuple = tuple(report.kernels)
+    # Rough per-entry footprint so PLAN_MEMO's optional byte budget is
+    # meaningful: KernelStats is scalar fields plus an occupancy dict.
+    nbytes = sum(256 + 64 * len(s.occupancy) for s in stats_tuple)
+    PLAN_MEMO.put(key, stats_tuple, nbytes=nbytes)
     return report

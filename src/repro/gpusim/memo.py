@@ -152,6 +152,11 @@ class LRUCache:
         ):
             _, (_, dropped) = self._data.popitem(last=False)
             self._bytes -= dropped
+            PERF.count(f"{self.name}_evict")
+
+    def contains(self, key) -> bool:
+        """Membership peek: no hit/miss counters, no LRU reordering."""
+        return key in self._data
 
     def clear(self) -> None:
         self._data.clear()
@@ -336,8 +341,16 @@ KERNEL_MEMO = KernelMemo()
 #: A :class:`~repro.core.plan.CompiledPlan` is content-addressed, so its
 #: whole simulated kernel-stats sequence is reusable as one unit — the
 #: run-many half of compile-once/run-many skips even the per-kernel memo
-#: lookups.
-PLAN_MEMO = LRUCache(max_entries=512, name="plan_memo")
+#: lookups.  Entry- and (optionally) byte-bounded: a long-lived serving
+#: process replaying a churning request mix must not accumulate stats
+#: tuples without bound.  Evictions count under ``plan_memo_evict``.
+PLAN_MEMO = LRUCache(
+    max_entries=max(1, _env_bytes("REPRO_PLAN_MEMO_ENTRIES", 512)),
+    max_bytes=(
+        _env_bytes("REPRO_PLAN_MEMO_BYTES", 0) or None
+    ),
+    name="plan_memo",
+)
 
 
 # ----------------------------------------------------------------------

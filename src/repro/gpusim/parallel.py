@@ -41,6 +41,7 @@ from .metrics import KernelStats
 __all__ = [
     "simulate_kernels_parallel",
     "simulate_partition_streams",
+    "presimulate_plans",
     "shutdown_pool",
 ]
 
@@ -358,6 +359,52 @@ def simulate_partition_streams(
     return split(
         _fill_serial(results, flat, config, dispatch_overhead)
     ), info
+
+
+def presimulate_plans(
+    plans: Sequence[object],
+    n_workers: int,
+    config: Optional[GPUConfig] = None,
+) -> Dict[str, object]:
+    """Warm :data:`KERNEL_MEMO` for a round of cold plans in one pool pass.
+
+    The serving layer's pooled-execution stage: when a flush round
+    resolves several batches whose plans have never been simulated, the
+    cold kernels of *all* of them are deduplicated and sharded across
+    the PR-6 worker pool in a single invocation — cross-batch dedup that
+    per-batch execution could never see.  The subsequent per-batch
+    ``simulate_plan`` calls then run entirely against the warmed memo,
+    so the simulated numbers are bit-identical to serial execution (the
+    memo write-back semantics of :func:`simulate_kernels_parallel`).
+
+    Plans may carry different dispatch overheads (per-framework); each
+    (config, dispatch) group is fingerprinted separately since the
+    dispatch cost enters the memo key.  No-op (returns ``{}``) when the
+    memo is disabled — without a memo there is nothing to warm.
+    """
+    if not memo_enabled() or n_workers <= 1:
+        return {}
+    groups: Dict[Tuple[int, float], List[object]] = {}
+    for plan in plans:
+        cfg = config if config is not None else plan.gpu_config
+        groups.setdefault((id(cfg), plan.dispatch_overhead), []).append(
+            (cfg, plan)
+        )
+    info: Dict[str, object] = {"groups": 0, "cold_kernels": 0,
+                               "deduped_kernels": 0}
+    for entries in groups.values():
+        cfg = entries[0][0]
+        dispatch = entries[0][1].dispatch_overhead
+        kernels = [k for _, plan in entries for k in plan.kernels]
+        if len(kernels) < 2:
+            continue
+        _, ginfo = simulate_kernels_parallel(
+            kernels, cfg, dispatch, n_workers
+        )
+        info["groups"] += 1
+        info["cold_kernels"] += int(ginfo.get("cold_kernels", 0))
+        info["deduped_kernels"] += int(ginfo.get("deduped_kernels", 0))
+    return info
 
 
 def _fill_serial(results, kernels, config, dispatch_overhead):

@@ -23,6 +23,8 @@ import os
 import time
 from typing import Dict, Optional
 
+from .latency import LatencyHistogram, percentile
+
 __all__ = [
     "PerfRegistry",
     "PERF",
@@ -32,6 +34,8 @@ __all__ = [
     "cache_model_mode",
     "optimize_enabled",
     "workers",
+    "LatencyHistogram",
+    "percentile",
 ]
 
 

@@ -1,0 +1,123 @@
+"""Latency accounting for the serving layer: exact percentile math.
+
+Ad-hoc percentile computations tend to multiply across benchmarks, each
+with its own off-by-one convention.  This module is the single source:
+a :class:`LatencyHistogram` accumulates per-request latencies (seconds)
+and reports nearest-rank percentiles, and :func:`percentile` exposes
+the same convention over any value sequence.
+
+Nearest-rank (the classic definition): the p-th percentile of ``n``
+sorted samples is the value at 1-based rank ``ceil(p/100 * n)``.  It
+always returns an observed sample — no interpolation — so p99 of a
+latency trace is a latency some request actually saw.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["percentile", "LatencyHistogram"]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of ``values`` (``0 < p <= 100``).
+
+    ``p=50`` is the median sample, ``p=100`` the maximum.  ``p=0`` is
+    defined as the minimum for convenience.  Raises ``ValueError`` on an
+    empty sequence — an empty trace has no percentiles, and silently
+    returning 0.0 would fabricate a latency record.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile p must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if p == 0.0:
+        return float(ordered[0])
+    rank = math.ceil(p / 100.0 * n)
+    return float(ordered[rank - 1])
+
+
+class LatencyHistogram:
+    """Accumulating latency samples with percentile summaries.
+
+    Samples are kept exactly (a float per request) and sorted lazily,
+    once per summary — recording stays O(1) on the serving hot path.
+    ``unit`` only labels the summary keys' documentation; values are
+    stored in whatever unit the caller records (the serve layer records
+    seconds).
+    """
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._values: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Add one sample (e.g. one request's latency in seconds)."""
+        self._values.append(float(value))
+        self._sorted = None
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self._values.append(float(v))
+        self._sorted = None
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one."""
+        self._values.extend(other._values)
+        self._sorted = None
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._values))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._values else 0.0
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        return self._sorted
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile of the recorded samples."""
+        ordered = self._ordered()
+        if not ordered:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile p must be in [0, 100], got {p}")
+        if p == 0.0:
+            return ordered[0]
+        rank = math.ceil(p / 100.0 * len(ordered))
+        return ordered[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """The serving layer's standard latency record.
+
+        Keys: ``count``, ``mean``, ``p50``, ``p95``, ``p99``, ``max``
+        (same unit as the recorded samples).  An empty histogram
+        summarizes to all-zero so replay records stay well-formed when a
+        tenant sent nothing.
+        """
+        if not self._values:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "max": 0.0}
+        ordered = self._ordered()
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": ordered[-1],
+        }

@@ -1,0 +1,420 @@
+"""`PlanServer`: the in-process batched, multi-tenant serving front-end.
+
+The server owns the pipeline's stateful stages: it queues admitted
+requests, resolves each compatibility batch to a plan through the
+content-addressed cache (:data:`~repro.core.plan.PLAN_CACHE` by
+default, with whatever admission/eviction policy it is configured
+with), pushes the round's cold plans through the PR-6 worker pool in
+one pass, executes every batch exactly once, and fans bit-identical
+results back to each member request while per-tenant latency
+histograms accumulate.
+
+:func:`execute_one` is the single-request degenerate case of the same
+stages — it is what ``Framework.run_*`` calls, so there is one
+implementation of plan resolution and cache-hit attribution in the
+codebase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..frameworks.base import ForwardResult, Framework
+from ..gpusim.config import GPUConfig
+from ..gpusim.metrics import RunReport
+from ..graph.csr import CSRGraph
+from ..perf import PERF, LatencyHistogram, workers
+from .admission import AdmissionPolicy, admit
+from .batching import Batch, plan_batches
+from .request import InferenceRequest, ServeResponse
+
+__all__ = ["PlanServer", "execute_one", "resolve_plan"]
+
+
+# ----------------------------------------------------------------------
+# Plan resolution (shared by the run path and the batch path)
+# ----------------------------------------------------------------------
+
+def resolve_plan(
+    framework: Framework,
+    model_name: str,
+    graph: CSRGraph,
+    sim: GPUConfig,
+    model=None,
+    signature=None,
+):
+    """Compile-or-load with cache-hit attribution.
+
+    Returns ``(plan, cache_hit)`` where ``cache_hit`` is True when the
+    plan came out of either plan-cache tier rather than the staged
+    pipeline.  ``signature`` forwards a precomputed
+    :meth:`Framework.plan_signature` result (the batcher holds one per
+    batch) so the content address is not derived twice.
+    """
+    hits_before = (
+        PERF.counts.get("plan_cache_hit", 0)
+        + PERF.counts.get("plan_cache_disk_hit", 0)
+    )
+    plan = framework.compile(
+        model_name, graph, sim, model=model, signature=signature
+    )
+    cache_hit = (
+        PERF.counts.get("plan_cache_hit", 0)
+        + PERF.counts.get("plan_cache_disk_hit", 0)
+    ) > hits_before
+    return plan, cache_hit
+
+
+def execute_one(
+    framework: Framework,
+    model_name: str,
+    graph: CSRGraph,
+    sim: GPUConfig,
+    *,
+    model=None,
+    compute: bool = False,
+    feat=None,
+    seed: int = 0,
+) -> ForwardResult:
+    """One request through resolution + execution (the ``run_*`` path)."""
+    plan, cache_hit = resolve_plan(
+        framework, model_name, graph, sim, model=model
+    )
+    result = framework.execute(
+        plan, sim, graph=graph, model=model,
+        compute=compute, feat=feat, seed=seed,
+    )
+    result.report.extra["perf"]["plan"]["cache_hit"] = cache_hit
+    return result
+
+
+def _clone_result(
+    leader: ForwardResult, plan, batch_size: int
+) -> ForwardResult:
+    """Fan-out: a member's result from the batch's single execution.
+
+    The simulated kernel statistics are copied stat-by-stat exactly the
+    way the plan-level memo restores them, so a fanned-out report is
+    bit-identical (kernels, peak memory, totals) to what a sequential
+    per-request ``execute()`` would have produced.  Only the host-side
+    ``perf`` bookkeeping differs: it records that this request rode a
+    batch instead of driving its own simulation.
+    """
+    src = leader.report
+    report = RunReport(label=src.label, peak_mem_bytes=src.peak_mem_bytes)
+    for stats in src.kernels:
+        report.add(dataclasses.replace(
+            stats, occupancy=dict(stats.occupancy)
+        ))
+    for key, value in plan.extra.items():
+        report.extra.setdefault(key, value)
+    perf = report.extra.setdefault("perf", {})
+    opt = plan.extra.get("optimize")
+    if isinstance(opt, dict):
+        perf["optimize"] = dict(opt)
+    perf["plan"] = {
+        "plan_id": plan.plan_id,
+        "compile_seconds": plan.compile_seconds,
+        "stage_seconds": dict(plan.stage_seconds),
+        "execute_seconds": 0.0,
+        "fanned_out": True,
+        "batch_size": batch_size,
+    }
+    return ForwardResult(report, None)
+
+
+class PlanServer:
+    """Batched multi-tenant inference over compiled plans.
+
+    Parameters
+    ----------
+    frameworks:
+        Name -> :class:`Framework` catalog requests may address by
+        string (defaults to :func:`repro.frameworks.all_frameworks`).
+    sim:
+        The :class:`GPUConfig` every served execution simulates
+        (defaults to the benchmark V100 configuration).
+    policy:
+        :class:`AdmissionPolicy`; the default admits everything.
+    plan_cache:
+        The :class:`~repro.core.plan.PlanCache` whose occupancy and
+        hit statistics :meth:`stats` reports.  Defaults to the
+        process-wide :data:`~repro.core.plan.PLAN_CACHE`, which is
+        what compilation resolves through; bound that pool with
+        ``REPRO_PLAN_CACHE_ENTRIES`` / ``REPRO_PLAN_CACHE_BYTES`` or
+        :meth:`~repro.core.plan.PlanCache.set_capacity`.
+
+    Usage::
+
+        server = PlanServer()
+        server.submit(InferenceRequest("gcn", graph, tenant="a"))
+        responses = server.flush()          # admission -> ... -> report
+
+    ``flush`` processes the whole queue as one batching window;
+    :func:`repro.serve.replay` drives windows from a trace.
+    """
+
+    def __init__(
+        self,
+        frameworks: Optional[Mapping[str, Framework]] = None,
+        sim: Optional[GPUConfig] = None,
+        policy: Optional[AdmissionPolicy] = None,
+        plan_cache=None,
+    ) -> None:
+        if frameworks is None:
+            from ..frameworks import all_frameworks
+
+            frameworks = all_frameworks()
+        if sim is None:
+            from ..bench import bench_config
+
+            sim = bench_config()
+        if plan_cache is None:
+            from ..core.plan import PLAN_CACHE
+
+            plan_cache = PLAN_CACHE
+        self.frameworks: Dict[str, Framework] = dict(frameworks)
+        self.sim = sim
+        self.policy = policy or AdmissionPolicy()
+        self.plan_cache = plan_cache
+        self._queue: List[Tuple[InferenceRequest, float]] = []
+        self._queued_per_tenant: Dict[str, int] = {}
+        self._latency = LatencyHistogram("serve")
+        self._tenant_latency: Dict[str, LatencyHistogram] = {}
+        self._served_plans: Dict[str, Tuple[str, object, object]] = {}
+        self._counts = {
+            "submitted": 0, "served": 0, "rejected": 0,
+            "batches": 0, "fanned_out": 0, "cache_hits": 0,
+            "flushes": 0, "max_batch": 0,
+        }
+        self._pool_info: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Stage 1+2: admission and queueing
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: InferenceRequest
+    ) -> Optional[ServeResponse]:
+        """Admit one request into the current batching window.
+
+        Returns ``None`` when the request is queued; a rejected
+        :class:`ServeResponse` (with its reason code) otherwise.
+        """
+        self._counts["submitted"] += 1
+        PERF.count("serve_requests")
+        reason = admit(
+            request, self.policy, self.frameworks,
+            self._queued_per_tenant,
+        )
+        if reason is not None:
+            self._counts["rejected"] += 1
+            PERF.count("serve_rejected")
+            return ServeResponse(
+                request=request, status="rejected", reason=reason
+            )
+        self._queue.append((request, time.perf_counter()))
+        self._queued_per_tenant[request.tenant] = (
+            self._queued_per_tenant.get(request.tenant, 0) + 1
+        )
+        return None
+
+    def _resolve_framework(self, request: InferenceRequest) -> Framework:
+        if isinstance(request.framework, str):
+            return self.frameworks[request.framework]
+        return request.framework
+
+    # ------------------------------------------------------------------
+    # Stages 3-6: resolution, batching, pooled execution, fan-out
+    # ------------------------------------------------------------------
+    def flush(self) -> List[ServeResponse]:
+        """Process the queued window; responses in submission order."""
+        if not self._queue:
+            return []
+        queue, self._queue = self._queue, []
+        self._queued_per_tenant = {}
+        self._counts["flushes"] += 1
+        with PERF.stage("serve_flush"):
+            submit_time = {req.request_id: t for req, t in queue}
+            batches = plan_batches(
+                [req for req, _ in queue],
+                self._resolve_framework, self.sim,
+            )
+            resolved = self._resolve_batches(batches)
+            self._presimulate_cold(resolved)
+            responses: Dict[str, ServeResponse] = {}
+            for batch_id, (batch, plan, cache_hit) in enumerate(resolved):
+                self._execute_batch(
+                    batch, plan, cache_hit, batch_id,
+                    submit_time, responses,
+                )
+        return [responses[req.request_id] for req, _ in queue]
+
+    def serve(
+        self, requests: Iterable[InferenceRequest]
+    ) -> List[ServeResponse]:
+        """Submit + flush as one window; responses in request order."""
+        requests = list(requests)
+        rejected: Dict[str, ServeResponse] = {}
+        for req in requests:
+            resp = self.submit(req)
+            if resp is not None:
+                rejected[req.request_id] = resp
+        flushed = {r.request.request_id: r for r in self.flush()}
+        flushed.update(rejected)
+        return [flushed[req.request_id] for req in requests]
+
+    # ------------------------------------------------------------------
+    def _resolve_batches(self, batches: List[Batch]):
+        resolved = []
+        for batch in batches:
+            plan, cache_hit = resolve_plan(
+                batch.framework, batch.model_name, batch.graph,
+                self.sim, model=batch.model, signature=batch.signature,
+            )
+            resolved.append((batch, plan, cache_hit))
+        return resolved
+
+    def _presimulate_cold(self, resolved) -> None:
+        """Pooled execution: cold plans of this round share one pool pass.
+
+        Only plans whose whole-plan memo entry is missing go to the
+        pool; everything else replays from the memo.  Bit-identity with
+        serial execution is the pool's documented contract.
+        """
+        n_workers = workers()
+        if n_workers <= 1:
+            return
+        from ..gpusim.executor import plan_memo_key
+        from ..gpusim.memo import PLAN_MEMO
+        from ..gpusim.parallel import presimulate_plans
+
+        cold = [
+            plan for batch, plan, _ in resolved
+            if batch.cacheable
+            and not PLAN_MEMO.contains(plan_memo_key(plan, self.sim))
+        ]
+        if len(cold) > 1:
+            info = presimulate_plans(cold, n_workers, config=self.sim)
+            if info:
+                self._pool_info = info
+
+    def _execute_batch(
+        self, batch: Batch, plan, cache_hit: bool, batch_id: int,
+        submit_time: Dict[str, float],
+        responses: Dict[str, ServeResponse],
+    ) -> None:
+        fw = batch.framework
+        self._counts["batches"] += 1
+        self._counts["max_batch"] = max(
+            self._counts["max_batch"], batch.size
+        )
+        if cache_hit:
+            self._counts["cache_hits"] += 1
+        PERF.count("serve_batches")
+        leader = batch.leader
+        leader_result = fw.execute(
+            plan, self.sim, graph=batch.graph, model=batch.model,
+            compute=leader.compute, feat=leader.feat, seed=leader.seed,
+        )
+        leader_result.report.extra["perf"]["plan"]["cache_hit"] = cache_hit
+        leader_result.report.extra["perf"]["plan"]["batch_size"] = (
+            batch.size
+        )
+        self._served_plans[plan.plan_id] = (fw.name, plan, batch.graph)
+        now = time.perf_counter()
+        for position, req in enumerate(batch.requests):
+            if position == 0:
+                result = leader_result
+            else:
+                PERF.count("serve_fanout")
+                self._counts["fanned_out"] += 1
+                result = _clone_result(leader_result, plan, batch.size)
+                if req.compute:
+                    result.output = fw.reference_output(
+                        batch.model_name, batch.graph, batch.model,
+                        feat=req.feat, seed=req.seed,
+                    )
+            latency = now - submit_time[req.request_id]
+            self._latency.record(latency)
+            self._tenant_latency.setdefault(
+                req.tenant, LatencyHistogram(req.tenant)
+            ).record(latency)
+            self._counts["served"] += 1
+            responses[req.request_id] = ServeResponse(
+                request=req,
+                status="ok",
+                result=result,
+                plan_id=plan.plan_id,
+                cache_hit=cache_hit,
+                batch_id=batch_id,
+                batch_size=batch.size,
+                batch_leader=position == 0,
+                latency_seconds=latency,
+            )
+
+    # ------------------------------------------------------------------
+    # Warm pool + reporting
+    # ------------------------------------------------------------------
+    def warm(
+        self, specs: Iterable[Tuple[object, str, CSRGraph]]
+    ) -> List[Tuple[str, bool]]:
+        """Pre-resolve hot plans into the cache (the warm-start pool).
+
+        ``specs`` is an iterable of ``(framework-or-name, model_name,
+        graph)``.  With a disk tier configured
+        (``REPRO_PLAN_CACHE_DIR``), a fresh serving process warms
+        entirely from disk artifacts — no staged pipeline runs.
+        Returns ``(plan_id, cache_hit)`` per spec.
+        """
+        out = []
+        for fw, model_name, graph in specs:
+            if isinstance(fw, str):
+                fw = self.frameworks[fw]
+            plan, hit = resolve_plan(fw, model_name, graph, self.sim)
+            self._served_plans.setdefault(
+                plan.plan_id, (fw.name, plan, graph)
+            )
+            out.append((plan.plan_id, hit))
+        return out
+
+    @property
+    def served_plans(self) -> Dict[str, Tuple[str, object, object]]:
+        """plan_id -> (framework name, plan, graph) for everything served.
+
+        The graph rides along so sampled-subgraph plans (whose
+        ``graph_name`` is no shipped dataset) can still be linted —
+        :func:`repro.analysis.lint_plan` needs the structure the plan
+        was compiled for.
+        """
+        return dict(self._served_plans)
+
+    def tenant_latency(self, tenant: str) -> LatencyHistogram:
+        return self._tenant_latency.setdefault(
+            tenant, LatencyHistogram(tenant)
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """The per-tenant serving report (PERF-backed cache counters)."""
+        batches = self._counts["batches"]
+        served = self._counts["served"]
+        return {
+            **self._counts,
+            "batch_dedup_rate": (
+                self._counts["fanned_out"] / served if served else 0.0
+            ),
+            "plan_cache_hit_rate": (
+                self._counts["cache_hits"] / batches if batches else 0.0
+            ),
+            "plan_cache": (
+                self.plan_cache.stats()
+                if hasattr(self.plan_cache, "stats") else {}
+            ),
+            "latency": self._latency.summary(),
+            "tenants": {
+                t: h.summary()
+                for t, h in sorted(self._tenant_latency.items())
+            },
+            "pool": dict(self._pool_info),
+        }

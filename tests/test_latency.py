@@ -1,0 +1,87 @@
+"""Unit tests for the latency-percentile helpers (``repro.perf.latency``).
+
+Nearest-rank percentiles have exact answers on small inputs, so every
+assertion here is against a hand-computed value — no statistical slack.
+"""
+
+import pytest
+
+from repro.perf import LatencyHistogram, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank_small(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0) == 10.0
+        assert percentile(values, 25) == 10.0
+        assert percentile(values, 50) == 20.0
+        assert percentile(values, 75) == 30.0
+        assert percentile(values, 100) == 40.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+        assert percentile([2.0, 3.0, 1.0], 50) == 2.0
+
+    def test_single_value(self):
+        for p in (0, 1, 50, 99, 100):
+            assert percentile([7.5], p) == 7.5
+
+    def test_p99_needs_hundred_samples(self):
+        # With 100 samples, p99 is the 99th ranked value, p100 the max.
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+        assert percentile(values, 50) == 50.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyHistogram:
+    def test_empty_summary_all_zero(self):
+        h = LatencyHistogram("t")
+        s = h.summary()
+        assert s == {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                     "p99": 0.0, "max": 0.0}
+
+    def test_summary_values(self):
+        h = LatencyHistogram("t")
+        h.record_many([1.0, 2.0, 3.0, 4.0])
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["p50"] == 2.0
+        assert s["max"] == 4.0
+
+    def test_record_invalidates_sorted_cache(self):
+        h = LatencyHistogram("t")
+        h.record(5.0)
+        assert h.percentile(50) == 5.0
+        h.record(1.0)   # must re-sort, not reuse the cached order
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 5.0
+
+    def test_merge(self):
+        a, b = LatencyHistogram("a"), LatencyHistogram("b")
+        a.record_many([1.0, 2.0])
+        b.record_many([3.0, 4.0])
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(10.0)
+        assert a.percentile(100) == 4.0
+        # The source histogram is untouched.
+        assert b.count == 2
+
+    def test_mean_and_total(self):
+        h = LatencyHistogram("t")
+        h.record_many([2.0, 4.0, 6.0])
+        assert h.total == pytest.approx(12.0)
+        assert h.mean == pytest.approx(4.0)
+        assert LatencyHistogram("empty").mean == 0.0
