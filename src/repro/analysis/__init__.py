@@ -1,8 +1,9 @@
 """Static analysis over the IR -> fusion -> lowering pipeline.
 
-Seven registered passes verify, without running the simulator, every
-:class:`~repro.core.compgraph.FusionPlan`, lowered kernel list and
-:class:`~repro.core.plan.CompiledPlan` artifact the pipeline produces:
+Nine registered passes verify, without running the simulator, every
+:class:`~repro.core.compgraph.FusionPlan`, lowered kernel list,
+:class:`~repro.core.plan.CompiledPlan` artifact and
+:class:`~repro.shard.partition.ShardPlan` the pipeline produces:
 
 1. **fusion legality** (:mod:`.legality`) — re-derives each op's
    required/provided data visible range from the op-kind effects table
@@ -29,7 +30,16 @@ Seven registered passes verify, without running the simulator, every
    evaluated lower bound against an artifact's recorded peak memory;
 7. **opportunity analysis** (:mod:`.footprint`) — advisory findings for
    O(E) materializations with O(N) equivalents (Table 5) and adjacent
-   kernels admitting a legal fusion the planner skipped (Listing 1).
+   kernels admitting a legal fusion the planner skipped (Listing 1);
+8. **shard memory/balance** (:mod:`.shardlint`) — per-device symbolic
+   peak memory against a declared :class:`~repro.shard.cost.DeviceConfig`
+   capacity (SH001 statically reproduces the simulator's OOM verdict),
+   symbolic flops imbalance (SH003) and replication blowup (SH004),
+   all from the :class:`~repro.shard.partition.ShardPlan` alone;
+9. **shard dataflow** (:mod:`.shardlint`) — transfer-volume
+   conservation between the partitioner's halo/mirror sets and the
+   priced ``tag="transfer"`` kernels (SH002), and static dead /
+   duplicated exchange detection (SH005).
 
 Passes are not a hard-coded taxonomy: each module registers a
 :class:`~repro.analysis.registry.LintPass` at import time (importing
@@ -83,10 +93,15 @@ from .findings import (
     register_code,
 )
 from .footprint import (
+    ShardSymExpr,
     SymExpr,
     check_footprint,
     check_opportunities,
     layer_footprint,
+    model_flops_expr,
+    model_live_sets,
+    shard_env,
+    shard_term,
 )
 from .diffexec import differential_verify
 from .hb import check_happens_before
@@ -109,7 +124,22 @@ from .rewrite import (
     autofix_shipped,
     collect_actions,
 )
-from .search import PlanScore, SearchResult, optimize_plan, search_plan
+from .search import (
+    PlanScore,
+    SearchResult,
+    ShardChoice,
+    ShardScore,
+    choose_partitioning,
+    optimize_plan,
+    search_plan,
+)
+from .shardlint import (
+    ShardLintContext,
+    lint_shard,
+    round_feat_lens,
+    shard_peak_bytes,
+    shard_transfer_bytes,
+)
 
 __all__ = [
     "AnalysisReport",
@@ -131,7 +161,12 @@ __all__ = [
     "RewriteAction",
     "RewriteStats",
     "SearchResult",
+    "ShardChoice",
+    "ShardLintContext",
+    "ShardScore",
+    "ShardSymExpr",
     "SymExpr",
+    "choose_partitioning",
     "autofix_lowering",
     "autofix_shipped",
     "collect_actions",
@@ -152,10 +187,18 @@ __all__ = [
     "lint_chain",
     "lint_passes",
     "lint_plan",
+    "lint_shard",
     "lint_shipped",
     "load_baseline",
     "make_finding",
+    "model_flops_expr",
+    "model_live_sets",
     "pass_names",
+    "round_feat_lens",
+    "shard_env",
+    "shard_peak_bytes",
+    "shard_term",
+    "shard_transfer_bytes",
     "probe_commutes_with_sum",
     "register_code",
     "register_pass",

@@ -41,6 +41,7 @@ from . import footprint    # noqa: F401  (registers "footprint", "opportunity")
 from . import hb           # noqa: F401  (registers "hb")
 from . import legality     # noqa: F401  (registers "legality")
 from . import linearity    # noqa: F401  (registers "linearity")
+from . import shardlint    # noqa: F401  (registers "shardmem", "shardflow")
 
 __all__ = [
     "verify_lowering",

@@ -127,8 +127,20 @@ class Finding:
 
 
 def make_finding(code: str, where: str, message: str) -> Finding:
-    """Construct a finding from a registered code (pass + severity)."""
-    fc = CODES[code]
+    """Construct a finding from a registered code (pass + severity).
+
+    Raises ``KeyError`` with the registered vocabulary when ``code``
+    was never passed through :func:`register_code` — an unregistered
+    code would otherwise ship findings SARIF consumers and baselines
+    cannot resolve.
+    """
+    fc = CODES.get(code)
+    if fc is None:
+        raise KeyError(
+            f"finding code {code!r} is not registered; every code must "
+            f"be declared via register_code() by its pass module "
+            f"(known: {', '.join(sorted(CODES)) or 'none'})"
+        )
     return Finding(fc.pass_name, fc.severity, where, message, code=code)
 
 

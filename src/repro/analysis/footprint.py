@@ -46,8 +46,13 @@ from .transform import merge_boundary
 
 __all__ = [
     "SymExpr",
+    "ShardSymExpr",
     "shape_bytes",
+    "shard_term",
     "layer_footprint",
+    "model_live_sets",
+    "model_flops_expr",
+    "shard_env",
     "check_footprint",
     "check_opportunities",
     "opportunity_rewrites",
@@ -159,6 +164,201 @@ class SymExpr:
 def shape_bytes(shape: str) -> SymExpr:
     """Bytes of one float32 buffer of a shape class, symbolically."""
     return SymExpr.of(_SHAPE_MONOMIAL[shape], 4.0)
+
+
+# ----------------------------------------------------------------------
+# Shard symbol vocabulary: per-device closed forms
+# ----------------------------------------------------------------------
+#
+# The single-device language above speaks N/E/F of *the* graph.  On a
+# sharded run every device sees its own local graph, whose node space
+# is [centers..., halo...]: the same closed forms apply per device, but
+# the memory story now depends on *which kind* of row a local node is —
+# owned centers are the useful work, halo (ghost) rows are replicated
+# reads, mirrors are replicated partial aggregates.  ``ShardSymExpr``
+# therefore splits the node axis into C (centers, mirrors included), H
+# (halo) and M (mirrors), keeps E (local edges) and F (feature length),
+# and evaluates against one device's partition stats.  ``P`` enters by
+# evaluation: a shard-level quantity is the max or sum of a per-device
+# expression over the P partitions.
+
+#: shard symbol order: centers, halo, mirrors, local edges, feat len
+_SHARD_SYMBOLS = ("C", "H", "M", "E", "F")
+
+_SHARD_INDEX = {s: i for i, s in enumerate(_SHARD_SYMBOLS)}
+
+
+def _shard_monomial(symbols: str) -> Tuple[int, ...]:
+    powers = [0] * len(_SHARD_SYMBOLS)
+    for s in symbols:
+        powers[_SHARD_INDEX[s]] += 1
+    return tuple(powers)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSymExpr:
+    """A linear combination of monomials over C, H, M, E and F.
+
+    Same algebra as :class:`SymExpr`, over the per-device shard
+    vocabulary.  ``N`` (local nodes) is not a symbol: it is the sum
+    ``C + H`` — :func:`shard_term` expands ``"N"`` accordingly so model
+    closed forms can be written against local-node counts and still
+    report which bytes are replication.
+    """
+
+    terms: Tuple[Tuple[Tuple[int, ...], float], ...] = ()
+
+    @staticmethod
+    def of(symbols: str, coeff: float) -> "ShardSymExpr":
+        if coeff == 0:
+            return ShardSymExpr()
+        return ShardSymExpr(((_shard_monomial(symbols), float(coeff)),))
+
+    def __add__(self, other: "ShardSymExpr") -> "ShardSymExpr":
+        merged: Dict[Tuple[int, ...], float] = dict(self.terms)
+        for mono, coeff in other.terms:
+            merged[mono] = merged.get(mono, 0.0) + coeff
+        return ShardSymExpr(tuple(sorted(
+            (m, c) for m, c in merged.items() if c != 0
+        )))
+
+    def scaled(self, factor: float) -> "ShardSymExpr":
+        if factor == 0:
+            return ShardSymExpr()
+        return ShardSymExpr(tuple(
+            (m, c * factor) for m, c in self.terms
+        ))
+
+    def evaluate(self, env: Dict[str, float]) -> float:
+        """Evaluate under ``{"C": ..., "H": ..., "M": ..., "E": ...,
+        "F": ...}`` (missing symbols default to 0)."""
+        vals = tuple(float(env.get(s, 0)) for s in _SHARD_SYMBOLS)
+        total = 0.0
+        for mono, coeff in self.terms:
+            prod = coeff
+            for val, power in zip(vals, mono):
+                prod *= val ** power
+            total += prod
+        return total
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for mono, coeff in sorted(self.terms, key=lambda t: t[0],
+                                  reverse=True):
+            syms = "".join(
+                f"*{s}" for s, p in zip(_SHARD_SYMBOLS, mono)
+                for _ in range(p)
+            )
+            parts.append(f"{coeff:g}{syms}")
+        return " + ".join(parts)
+
+
+def shard_term(symbols: str, coeff: float) -> ShardSymExpr:
+    """One shard-vocabulary term; ``"N"`` expands to ``C + H``.
+
+    ``shard_term("NF", 4.0)`` is one float32 feature row per local node
+    — ``4*C*F + 4*H*F`` — which is exactly how a per-partition compile
+    allocates it (the local node space includes ghosts).
+    """
+    expanded = [""]
+    for s in symbols:
+        if s == "N":
+            expanded = [pre + alt for pre in expanded for alt in "CH"]
+        else:
+            expanded = [pre + s for pre in expanded]
+    out = ShardSymExpr()
+    for mono in expanded:
+        out = out + ShardSymExpr.of(mono, coeff)
+    return out
+
+
+def shard_env(part) -> Dict[str, float]:
+    """The evaluation environment of one
+    :class:`~repro.shard.partition.GraphPartition` (``F`` left to the
+    caller: it varies per layer)."""
+    return {
+        "C": float(part.centers.size),
+        "H": float(part.halo.size),
+        "M": float(part.mirrors.size),
+        "E": float(part.local_graph.num_edges),
+    }
+
+
+def model_live_sets(model_name: str, model) -> List[Tuple[str, ShardSymExpr]]:
+    """Per-layer symbolic live-set peaks of one device's compiled plan.
+
+    Mirrors the :class:`~repro.gpusim.memory.DeviceMemory` accounting
+    of the DGL-style framework (the allocation schedule in
+    :meth:`repro.frameworks.dgl_like.DGLLike.compile_gcn` and friends)
+    closed-form: each entry is the live bytes at the layer's allocation
+    high-water mark, over local nodes ``N = C + H`` and local edges
+    ``E``.  The max over entries *is* the compile-time
+    ``peak_mem_bytes`` of a per-partition plan — bit-for-bit, which is
+    what lets SH001 reproduce the simulator's OOM verdict without
+    compiling anything (``tests/test_shardlint.py`` pins the equality).
+    """
+    graph_csr = shard_term("N", 4.0) + shard_term("E", 4.0)
+    if model_name == "gcn":
+        dims = model.dims
+        out = []
+        for li in range(len(dims) - 1):
+            f_in, f_out = dims[li], dims[li + 1]
+            # live: CSR + h_li [N,f_in] + hw_li [N,f_out] + h_{li+1}
+            expr = graph_csr + shard_term("N", 4.0 * (f_in + 2 * f_out))
+            out.append((f"gcn{li}", expr))
+        return out
+    if model_name == "gat":
+        dims = model.dims
+        out = []
+        for li in range(len(dims) - 1):
+            f_in, f_out = dims[li], dims[li + 1]
+            # live: CSR + h_li + hw_li + h_{li+1} + att [N,2] + edge [E,3]
+            expr = (
+                graph_csr
+                + shard_term("N", 4.0 * (f_in + 2 * f_out + 2))
+                + shard_term("E", 12.0)
+            )
+            out.append((f"gat{li}", expr))
+        return out
+    if model_name == "sage_lstm":
+        # No frees: the peak is the running total of every allocation.
+        expr = graph_csr + shard_term("N", 4.0 * (
+            model.f_in                          # h0
+            + model.num_neighbors * model.f_in  # expanded [N,k,F]
+            + 2 * model.hidden                  # LSTM state
+            + model.f_out                       # projection output
+        ))
+        return [("sage", expr)]
+    raise KeyError(f"no symbolic memory model for {model_name!r}")
+
+
+def model_flops_expr(model_name: str, model) -> ShardSymExpr:
+    """Symbolic per-device flops of one model, for load-imbalance
+    ratios (SH003).  Deliberately coarse — dense transforms at
+    ``2*N*f_in*f_out``, aggregations at ``2*E*f_out`` — because only
+    the max/mean *ratio* across devices matters, and every device's
+    estimate carries the same constants."""
+    expr = ShardSymExpr()
+    if model_name in ("gcn", "gat"):
+        dims = model.dims
+        for li in range(len(dims) - 1):
+            f_in, f_out = dims[li], dims[li + 1]
+            expr = expr + shard_term("N", 2.0 * f_in * f_out)
+            expr = expr + shard_term("E", 2.0 * f_out)
+            if model_name == "gat":
+                # att gemm [N,f_out]x[f_out,2] + per-edge softmax chain
+                expr = expr + shard_term("N", 4.0 * f_out)
+                expr = expr + shard_term("E", 8.0)
+        return expr
+    if model_name == "sage_lstm":
+        k, h, f = model.num_neighbors, model.hidden, model.f_in
+        # k LSTM cells of 8*h*(f+h) MACs each, plus the projection.
+        expr = expr + shard_term("N", 8.0 * k * h * (f + h))
+        expr = expr + shard_term("N", 2.0 * (f + h) * model.f_out)
+        return expr
+    raise KeyError(f"no symbolic flops model for {model_name!r}")
 
 
 # ----------------------------------------------------------------------

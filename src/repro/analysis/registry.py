@@ -16,6 +16,11 @@ exposes up to three hooks, one per scope it analyzes:
 * ``artifact(plan, graph, config)`` — whole-:class:`CompiledPlan`
   properties that need the complete kernel stream or the recorded
   peak-memory/stage metadata; run only by ``lint_plan``.
+* ``shard(ctx)`` — properties of a
+  :class:`~repro.shard.partition.ShardPlan` (plus, when available, its
+  per-partition plans and stitched device streams); run by
+  :func:`~repro.analysis.shardlint.lint_shard` with a
+  :class:`~repro.analysis.shardlint.ShardLintContext`.
 
 A pass that can also *repair* what it reports exposes a fourth hook,
 ``rewrite(ctx)``, returning :class:`RewriteAction` candidates — one per
@@ -89,6 +94,9 @@ class LintPass:
     rewrite: Optional[
         Callable[[LintContext], List["RewriteAction"]]
     ] = None  # advisory findings -> candidate fixes
+    shard: Optional[
+        Callable[..., List[Finding]]
+    ] = None  # (ShardLintContext) -> findings
 
 
 _PASSES: Dict[str, LintPass] = {}

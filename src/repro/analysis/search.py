@@ -48,9 +48,12 @@ from .rewrite import (AppliedRewrite, RewriteStats, collect_actions,
 __all__ = [
     "PlanScore",
     "SearchResult",
+    "ShardChoice",
+    "ShardScore",
     "score_lowering",
     "search_plan",
     "optimize_plan",
+    "choose_partitioning",
 ]
 
 
@@ -332,3 +335,112 @@ def optimize_plan(
         # original passed; anything less ships the original.
         return plan
     return out
+
+
+# ----------------------------------------------------------------------
+# Partitioning choice: the shard analyses as the planner's oracle
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True, order=True)
+class ShardScore:
+    """Lexicographic partitioning cost: smaller is better on every axis.
+
+    The :class:`PlanScore` discipline extended with transfer bytes:
+    feasibility dominates (``infeasible`` counts SH001 verdicts — a
+    partitioning that cannot compile never beats one that can), then
+    symbolic cross-device traffic (the quantity that gates multi-GPU
+    scaling), then the per-device symbolic peak, then device count —
+    P=1 wins whenever it fits, because it moves zero bytes.
+    """
+
+    infeasible: int       # SH001 findings (devices that cannot compile)
+    transfer_bytes: float  # total symbolic halo+mirror bytes
+    peak_bytes: float      # max per-device symbolic peak
+    num_parts: int
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "infeasible": int(self.infeasible),
+            "transfer_bytes": float(self.transfer_bytes),
+            "peak_bytes": float(self.peak_bytes),
+            "num_parts": int(self.num_parts),
+        }
+
+
+@dataclasses.dataclass
+class ShardChoice:
+    """One scored (method, P) candidate partitioning."""
+
+    method: str
+    num_parts: int
+    score: ShardScore
+    shard: object          # shard.partition.ShardPlan
+    report: object         # AnalysisReport from lint_shard
+
+    @property
+    def feasible(self) -> bool:
+        return self.score.infeasible == 0
+
+
+def choose_partitioning(
+    graph: CSRGraph,
+    model_name: str,
+    *,
+    model=None,
+    device=None,
+    link=None,
+    methods: Optional[Tuple[str, ...]] = None,
+    parts: Tuple[int, ...] = (1, 2, 4, 8),
+    imbalance_threshold: Optional[float] = None,
+    blowup_threshold: Optional[float] = None,
+) -> List[ShardChoice]:
+    """Score every (strategy x P) candidate and rank them, statically.
+
+    Closes the loop between the shard analyses and the search engine:
+    each candidate partitioning is verified by the registered shard
+    passes (:func:`~repro.analysis.shardlint.lint_shard`, symbolic-only
+    — zero compiles, zero simulation) and scored by the lexicographic
+    :class:`ShardScore`.  Returns candidates best-first; ``[0]`` is the
+    cheapest *feasible* partitioning whenever any candidate fits the
+    declared :class:`~repro.shard.cost.DeviceConfig` capacity.
+    """
+    from ..shard.partition import METHODS, partition_graph
+    from .shardlint import (DEFAULT_IMBALANCE_THRESHOLD, lint_shard,
+                            resolve_model, round_feat_lens,
+                            shard_peak_bytes, shard_transfer_bytes)
+
+    model = resolve_model(model_name, model)
+    if imbalance_threshold is None:
+        imbalance_threshold = DEFAULT_IMBALANCE_THRESHOLD
+    feats = round_feat_lens(model_name, model)
+    candidates: List[ShardChoice] = []
+    for method in (methods or METHODS):
+        for p in parts:
+            if p < 1 or p > graph.num_nodes:
+                continue
+            shard = partition_graph(graph, p, method)
+            report = lint_shard(
+                shard, model_name=model_name, model=model,
+                device=device, link=link,
+                imbalance_threshold=imbalance_threshold,
+                blowup_threshold=blowup_threshold,
+            )
+            transfer = sum(
+                sum(kinds.values())
+                for kinds in shard_transfer_bytes(shard, feats).values()
+            )
+            peaks = shard_peak_bytes(shard, model_name, model)
+            score = ShardScore(
+                infeasible=sum(
+                    1 for f in report.findings if f.code == "SH001"
+                ),
+                transfer_bytes=float(transfer),
+                peak_bytes=max(peak for _, peak, _ in peaks),
+                num_parts=p,
+            )
+            candidates.append(ShardChoice(
+                method=method, num_parts=p, score=score,
+                shard=shard, report=report,
+            ))
+    candidates.sort(key=lambda c: c.score)
+    return candidates

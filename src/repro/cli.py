@@ -19,6 +19,9 @@ Examples::
     python -m repro plan optimize --dir plans/ --out plans-opt/
     python -m repro shard partition --dataset arxiv --parts 4
     python -m repro shard run --dataset arxiv --model gcn --parts 2
+    python -m repro shard lint --dataset arxiv --model gcn --parts 2
+    python -m repro shard lint --dataset ogb49m --parts 8 --no-plans
+    python -m repro shard choose --dataset arxiv --model gcn
 """
 
 from __future__ import annotations
@@ -255,6 +258,13 @@ def cmd_lint(args) -> int:
         removed = prune_baseline(args.baseline, all_findings)
         print(f"pruned {removed} stale entr"
               f"{'y' if removed == 1 else 'ies'} from {args.baseline}")
+    if unused and args.fail_stale:
+        # Baseline hygiene gate: a suppression matching nothing is debt
+        # that silently weakens the gate — fail instead of drifting.
+        print(f"{len(unused)} stale baseline entr"
+              f"{'y' if len(unused) == 1 else 'ies'}; prune with "
+              f"--prune-baseline")
+        return 1
     # Exit-code contract: errors always gate; warnings only under
     # --fail-on warning; info findings never gate — except under --fix,
     # where an auto-fixable advisory the engine could not discharge (and
@@ -464,16 +474,43 @@ def cmd_bench(args) -> int:
 # repro shard — multi-device partition + run
 # ----------------------------------------------------------------------
 
+def _load_shard_graph(name: str):
+    """Dataset loader that also knows the full-scale OOM-regime graph.
+
+    ``ogb49m`` is the ~49M-edge :func:`~repro.graph.ogb_scale_graph`
+    whose monolithic plan exceeds the simulated device budget — the
+    regime the SH001 static verdict exists for.  It is generated, not
+    shipped, so it lives outside the scaled ``DATASET_NAMES`` table.
+    """
+    if name == "ogb49m":
+        from .graph import ogb_scale_graph
+
+        return ogb_scale_graph()
+    return load_dataset(name)
+
+
 def cmd_shard_partition(args) -> int:
     from .shard import partition_graph, save_shard_plan
 
-    g = load_dataset(args.dataset)
+    g = _load_shard_graph(args.dataset)
     plan = partition_graph(g, args.parts, args.method)
     print(plan.describe())
     if args.out:
         path = save_shard_plan(args.out, plan)
         print(f"wrote {path}")
-    return 0
+    if getattr(args, "no_lint", False):
+        return 0
+    # Symbolic shard lint (SH001/SH003/SH004): zero compiles, zero
+    # simulation — a partitioning that cannot run is caught here.
+    from .analysis.shardlint import lint_shard
+    from .shard import DeviceConfig
+
+    report = lint_shard(
+        plan, model_name=args.model,
+        device=DeviceConfig.from_gpu(bench_config()),
+    )
+    print(report.format())
+    return 0 if report.gate() else 1
 
 
 def cmd_shard_run(args) -> int:
@@ -544,6 +581,121 @@ def cmd_shard_run(args) -> int:
     if args.sarif:
         _write_sarif(args.sarif, report)
     return 0 if report.gate(args.fail_on) else 1
+
+
+def cmd_shard_lint(args) -> int:
+    from .analysis.findings import load_baseline
+    from .analysis.shardlint import lint_shard
+    from .shard import DeviceConfig, LinkConfig, partition_graph
+
+    g = _load_shard_graph(args.dataset)
+    shard = partition_graph(g, args.parts, args.method)
+    sim = bench_config()
+    device = (
+        DeviceConfig(mem_bytes=int(args.device_mem))
+        if args.device_mem else DeviceConfig.from_gpu(sim)
+    )
+    plans = streams = None
+    note = None
+    if not args.no_plans:
+        from .gpusim.multidev import build_shard_streams
+
+        frameworks = all_frameworks()
+        if args.framework not in frameworks:
+            raise SystemExit(
+                f"unknown framework {args.framework!r}; choose from "
+                f"{list(frameworks)}"
+            )
+        fw = frameworks[args.framework]
+        try:
+            plans = [
+                fw.compile(
+                    args.model, part.local_graph, sim,
+                    shard_options=shard.options_blob(part.part_id),
+                )
+                for part in shard.parts
+            ]
+            streams = build_shard_streams(shard, plans, LinkConfig())
+        except SimulatedOOM as exc:
+            plans = streams = None
+            note = (
+                f"per-partition compile raised SimulatedOOM ({exc}); "
+                f"flow checks skipped — the symbolic verdict below is "
+                f"the static form of that failure"
+            )
+        except NotSupported:
+            raise SystemExit(
+                f"{args.framework} does not support {args.model}"
+            )
+    report = lint_shard(
+        shard, model_name=args.model, device=device,
+        plans=plans, streams=streams,
+        imbalance_threshold=args.imbalance_threshold,
+        blowup_threshold=args.blowup_threshold,
+    )
+    suppressed = 0
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load baseline: {exc}") from exc
+        report, suppressed = report.apply_baseline(entries)
+    if args.sarif:
+        _write_sarif(args.sarif, report)
+    if args.json:
+        print(report.to_json())
+    else:
+        if note:
+            print(f"note: {note}")
+        print(report.format(verbose=args.verbose))
+        if suppressed:
+            print(f"({suppressed} baselined finding(s) suppressed)")
+    return 0 if report.gate(args.fail_on) else 1
+
+
+def cmd_shard_choose(args) -> int:
+    from .analysis.search import choose_partitioning
+    from .shard import DeviceConfig
+
+    g = _load_shard_graph(args.dataset)
+    device = (
+        DeviceConfig(mem_bytes=int(args.device_mem))
+        if args.device_mem else DeviceConfig.from_gpu(bench_config())
+    )
+    choices = choose_partitioning(
+        g, args.model, device=device,
+        methods=tuple(args.methods) if args.methods else None,
+        parts=tuple(args.parts),
+    )
+    rows = [
+        [
+            c.method, c.num_parts,
+            "yes" if c.feasible else "no",
+            round(c.score.peak_bytes / 1e6, 2),
+            round(c.score.transfer_bytes / 1e6, 2),
+            len(c.report.findings),
+        ]
+        for c in choices
+    ]
+    print(format_table(
+        f"partitioning candidates for {args.model}:{args.dataset} "
+        f"(device {device.mem_bytes / 2**20:.0f} MiB)",
+        ["method", "P", "fits", "peak_MB", "transfer_MB", "findings"],
+        rows,
+    ))
+    best = choices[0]
+    if best.feasible:
+        print(
+            f"recommended: {best.method} x{best.num_parts} "
+            f"(peak {best.score.peak_bytes / 1e6:.2f} MB, "
+            f"transfers {best.score.transfer_bytes / 1e6:.2f} MB)"
+        )
+        return 0
+    print(
+        f"no candidate fits the {device.mem_bytes:,}-byte device "
+        f"budget (least-infeasible: {best.method} x{best.num_parts})"
+    )
+    return 1
 
 
 def cmd_shard(args) -> int:
@@ -753,6 +905,10 @@ def build_parser() -> argparse.ArgumentParser:
                     dest="prune_baseline",
                     help="rewrite --baseline without entries that "
                          "suppress nothing")
+    sp.add_argument("--fail-stale", action="store_true",
+                    dest="fail_stale",
+                    help="exit 1 when --baseline holds entries that "
+                         "suppress nothing (CI baseline hygiene)")
     sp.add_argument("--fail-on", choices=["error", "warning"],
                     default="error", dest="fail_on",
                     help="severity that flips the exit code to 1 "
@@ -832,8 +988,11 @@ def build_parser() -> argparse.ArgumentParser:
     shard_sub = sp.add_subparsers(dest="shard_command", required=True)
 
     def add_shard_args(ssp):
-        ssp.add_argument("--dataset", choices=DATASET_NAMES,
-                         required=True)
+        ssp.add_argument("--dataset",
+                         choices=list(DATASET_NAMES) + ["ogb49m"],
+                         required=True,
+                         help="scaled dataset, or ogb49m (the generated "
+                              "full-scale OOM-regime graph)")
         ssp.add_argument("--parts", type=int, default=2,
                          help="number of simulated devices (default: 2)")
         ssp.add_argument("--method", choices=["edge_cut", "vertex_cut"],
@@ -847,6 +1006,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_shard_args(ssp)
     ssp.add_argument("--out", default=None, metavar="DIR",
                      help="save the content-addressed shard artifact")
+    ssp.add_argument("--model", choices=["gcn", "gat", "sage_lstm"],
+                     default="gcn",
+                     help="model for the symbolic shard lint "
+                          "(default: gcn)")
+    ssp.add_argument("--no-lint", action="store_true", dest="no_lint",
+                     help="skip the symbolic shard lint (SH001/3/4)")
     ssp.set_defaults(func=cmd_shard, shard_func=cmd_shard_partition)
 
     ssp = shard_sub.add_parser(
@@ -872,6 +1037,65 @@ def build_parser() -> argparse.ArgumentParser:
     ssp.add_argument("--sarif", default=None, metavar="PATH",
                      help="write HB findings as SARIF 2.1.0 JSON")
     ssp.set_defaults(func=cmd_shard, shard_func=cmd_shard_run)
+
+    ssp = shard_sub.add_parser(
+        "lint",
+        help="statically verify one partitioning (SH001-SH005): "
+             "symbolic memory, transfer conservation, exchange liveness",
+    )
+    add_shard_args(ssp)
+    ssp.add_argument("--model", choices=["gcn", "gat", "sage_lstm"],
+                     default="gcn")
+    ssp.add_argument("--framework", default="dgl",
+                     help="framework for per-partition plans "
+                          "(default: dgl)")
+    ssp.add_argument("--no-plans", action="store_true", dest="no_plans",
+                     help="symbolic-only: skip compiling per-partition "
+                          "plans (SH002/SH005 need plans; SH001/3/4 "
+                          "never do)")
+    ssp.add_argument("--device-mem", type=float, default=None,
+                     dest="device_mem", metavar="BYTES",
+                     help="declared per-device capacity (default: the "
+                          "bench GPU's budget)")
+    ssp.add_argument("--imbalance-threshold", type=float, default=1.25,
+                     dest="imbalance_threshold",
+                     help="SH003 max/mean flops ratio (default: 1.25)")
+    ssp.add_argument("--blowup-threshold", type=float, default=None,
+                     dest="blowup_threshold",
+                     help="SH004 total/monolithic memory ratio "
+                          "(default: P)")
+    ssp.add_argument("--json", action="store_true",
+                     help="machine-readable report")
+    ssp.add_argument("--verbose", action="store_true",
+                     help="include info-level findings")
+    ssp.add_argument("--fail-on", choices=["error", "warning"],
+                     default="error", dest="fail_on",
+                     help="severity that flips the exit code to 1")
+    ssp.add_argument("--baseline", default=None, metavar="PATH",
+                     help="JSON suppression file of known findings")
+    ssp.add_argument("--sarif", default=None, metavar="PATH",
+                     help="write the report as SARIF 2.1.0 JSON")
+    ssp.set_defaults(func=cmd_shard, shard_func=cmd_shard_lint)
+
+    ssp = shard_sub.add_parser(
+        "choose",
+        help="rank (method x P) partitionings by the static ShardScore",
+    )
+    ssp.add_argument("--dataset",
+                     choices=list(DATASET_NAMES) + ["ogb49m"],
+                     required=True)
+    ssp.add_argument("--model", choices=["gcn", "gat", "sage_lstm"],
+                     default="gcn")
+    ssp.add_argument("--methods", nargs="*", default=None,
+                     choices=["edge_cut", "vertex_cut"],
+                     help="candidate methods (default: both)")
+    ssp.add_argument("--parts", type=int, nargs="*", default=[1, 2, 4, 8],
+                     help="candidate device counts (default: 1 2 4 8)")
+    ssp.add_argument("--device-mem", type=float, default=None,
+                     dest="device_mem", metavar="BYTES",
+                     help="declared per-device capacity (default: the "
+                          "bench GPU's budget)")
+    ssp.set_defaults(func=cmd_shard, shard_func=cmd_shard_choose)
 
     sp = sub.add_parser(
         "serve",

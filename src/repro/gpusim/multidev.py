@@ -37,8 +37,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..perf import PERF, workers
 from ..shard.cost import (
     LinkConfig,
@@ -53,7 +51,14 @@ from .config import GPUConfig
 from .kernel import KernelDataflow, KernelSpec
 from .metrics import KernelStats, RunReport
 
-__all__ = ["ShardStreams", "build_shard_streams", "run_multidev"]
+__all__ = [
+    "ShardStreams",
+    "build_shard_streams",
+    "run_multidev",
+    "shard_peak_mem_bytes",
+    "corrupt_stream_drop_exchange",
+    "corrupt_stream_duplicate_exchange",
+]
 
 Node = Tuple[int, int]
 
@@ -308,6 +313,31 @@ def build_shard_streams(
     )
 
 
+def shard_peak_mem_bytes(ss: ShardStreams, plans: Sequence) -> int:
+    """Aggregate peak device memory of a sharded run.
+
+    Each partition's compiled plan already accounts its resident
+    buffers — including the ghost feature rows, because the local node
+    space ``[centers..., halo...]`` is what it compiles against.  What
+    the per-partition peak does *not* see is the transfer machinery:
+    an arriving exchange/reduction payload lands in a staging buffer
+    before it is applied, so a device's true high-water mark is its
+    compile-time peak plus the largest payload it receives in any one
+    round.  The old ``max(plan peaks)`` silently dropped that term.
+    """
+    by_round: Dict[int, Dict[int, float]] = {}
+    for (d, _i), info in ss.transfers.items():
+        by_round.setdefault(d, {})
+        by_round[d][info.round_idx] = (
+            by_round[d].get(info.round_idx, 0.0) + info.payload_bytes
+        )
+    peak = 0
+    for d in sorted(ss.streams):
+        staged = max(by_round.get(d, {}).values(), default=0.0)
+        peak = max(peak, int(plans[d].peak_mem_bytes + staged))
+    return peak
+
+
 # ----------------------------------------------------------------------
 # Timeline
 # ----------------------------------------------------------------------
@@ -434,9 +464,7 @@ def run_multidev(
 
     report = RunReport(
         label=ss.label,
-        peak_mem_bytes=max(
-            (p.peak_mem_bytes for p in plans), default=0
-        ),
+        peak_mem_bytes=shard_peak_mem_bytes(ss, plans),
     )
     devices = []
     total_transfer_bytes = 0.0
@@ -468,6 +496,10 @@ def run_multidev(
         )
         total_transfer_bytes += halo_bytes + mirror_bytes
         total_transfer_seconds += transfer_s
+        # PERF counters: the validation cross-check hooks the shard
+        # lint tests compare against the SH002 symbolic prediction.
+        PERF.count("shard_halo_bytes", int(halo_bytes))
+        PERF.count("shard_mirror_bytes", int(mirror_bytes))
         devices.append({
             "device": d,
             "kernels": len(ss.streams[d]),
@@ -575,4 +607,65 @@ def corrupt_stream_drop_exchange(
         transfers=new_transfers,
         dispatch_overhead=ss.dispatch_overhead,
         label=ss.label + ":corrupted",
+    )
+
+
+def corrupt_stream_duplicate_exchange(
+    ss: ShardStreams, device: int, round_idx: int = 0
+) -> ShardStreams:
+    """Testing hook: re-issue one device's halo exchange immediately.
+
+    The duplicate overwrites the ghost buffer before anything reads
+    the first delivery, and doubles the priced transfer bytes past
+    what the partition's halo sets predict — exactly the duplicated
+    exchange (SH005) and transfer-conservation drift (SH002) the
+    static shard-dataflow pass must catch.  Dependency edges and
+    transfer records are re-indexed for the lengthened stream.
+    """
+    stream = ss.streams[device]
+    dup = None
+    for i in range(len(stream)):
+        info = ss.transfers.get((device, i))
+        if (
+            info is not None
+            and info.kind == "halo_exchange"
+            and info.round_idx == round_idx
+        ):
+            dup = i
+            break
+    if dup is None:
+        raise ValueError(
+            f"device {device} has no halo exchange for round {round_idx}"
+        )
+
+    def remap(node: Node) -> Node:
+        d, i = node
+        if d != device or i <= dup:
+            return node
+        return (d, i + 1)
+
+    new_streams = dict(ss.streams)
+    new_streams[device] = (
+        stream[: dup + 1] + [stream[dup]] + stream[dup + 1:]
+    )
+    new_deps = {
+        remap(node): [remap(b) for b in blockers]
+        for node, blockers in ss.deps.items()
+    }
+    # The duplicate waits on the same publishers as the original.
+    if (device, dup) in new_deps:
+        new_deps[(device, dup + 1)] = list(new_deps[(device, dup)])
+    new_transfers = {
+        remap(node): info for node, info in ss.transfers.items()
+    }
+    new_transfers[(device, dup + 1)] = dataclasses.replace(
+        ss.transfers[(device, dup)]
+    )
+    return ShardStreams(
+        shard=ss.shard,
+        streams=new_streams,
+        deps=new_deps,
+        transfers=new_transfers,
+        dispatch_overhead=ss.dispatch_overhead,
+        label=ss.label + ":duplicated",
     )

@@ -26,7 +26,7 @@ per-device streams: a ghost feature read before its exchange completes
 is a machine-checkable HB004 error.
 """
 
-from .cost import LinkConfig, transfer_seconds
+from .cost import DeviceConfig, LinkConfig, transfer_seconds
 from .partition import (
     GraphPartition,
     ShardPlan,
@@ -39,6 +39,7 @@ from .run import run_sharded
 __all__ = [
     "GraphPartition",
     "ShardPlan",
+    "DeviceConfig",
     "LinkConfig",
     "partition_graph",
     "save_shard_plan",

@@ -32,6 +32,7 @@ import numpy as np
 from ..gpusim.kernel import KernelDataflow, KernelSpec
 
 __all__ = [
+    "DeviceConfig",
     "LinkConfig",
     "transfer_seconds",
     "halo_exchange_kernel",
@@ -42,6 +43,29 @@ __all__ = [
 ]
 
 FLOAT_BYTES = 4  # float32 feature rows (DESIGN §5)
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceConfig:
+    """Declared per-device memory capacity for static shard checks.
+
+    This is the budget the shard lint passes (SH001/SH004) verify the
+    per-device *symbolic* footprint against — the same 1 GiB the
+    simulator's :class:`~repro.gpusim.memory.DeviceMemory` enforces at
+    compile time, but declared here on the link/device model so the
+    verdict is reachable without compiling anything.  It deliberately
+    lives beside :class:`LinkConfig` and **not** on
+    :class:`~repro.gpusim.config.GPUConfig`: the GPU config enters
+    every plan's content address, so a field there would silently move
+    all plan ids and the pinned bench hashes.
+    """
+
+    mem_bytes: int = 1 * 1024**3
+
+    @staticmethod
+    def from_gpu(config) -> "DeviceConfig":
+        """Mirror a :class:`GPUConfig`'s simulated memory budget."""
+        return DeviceConfig(mem_bytes=int(config.device_mem_bytes))
 
 
 @dataclasses.dataclass(frozen=True)

@@ -29,7 +29,7 @@ from ..gpusim.config import GPUConfig
 from ..gpusim.metrics import RunReport
 from ..graph.csr import CSRGraph
 from ..perf import PERF
-from .cost import LinkConfig
+from .cost import DeviceConfig, LinkConfig
 from .partition import ShardPlan, partition_graph
 
 __all__ = ["ShardResult", "run_sharded"]
@@ -43,7 +43,7 @@ class ShardResult:
     plans: List[object]            # CompiledPlan per partition
     streams: object                # gpusim.multidev.ShardStreams
     report: RunReport
-    findings: List[object]         # analysis.Finding from the HB pass
+    findings: List[object]         # Findings: HB pass + SH shard passes
 
     @property
     def wall_seconds(self) -> float:
@@ -68,14 +68,20 @@ def run_sharded(
     link: LinkConfig = LinkConfig(),
     lint: bool = True,
     shard: Optional[ShardPlan] = None,
+    device: Optional[DeviceConfig] = None,
 ) -> ShardResult:
     """Partition ``graph``, compile per partition, run multi-device.
 
     ``framework`` is a :class:`~repro.frameworks.base.Framework`
     instance.  Pass a pre-computed ``shard`` (e.g. loaded from a saved
     artifact) to skip partitioning; its method/parts take precedence.
+    With ``lint=True`` the streams are verified by the generalized
+    happens-before checker *and* the shard-scope SH passes (transfer
+    conservation, exchange liveness, per-device symbolic memory
+    against ``device`` — defaulting to the simulated GPU's budget).
     """
     from ..analysis.hb import check_happens_before_multidev
+    from ..analysis.shardlint import lint_shard
     from ..gpusim.multidev import build_shard_streams, run_multidev
 
     if shard is None:
@@ -94,6 +100,12 @@ def run_sharded(
         findings = check_happens_before_multidev(
             streams.streams, streams.deps
         )
+        shard_report = lint_shard(
+            shard, model_name=model_name, model=model,
+            device=device or DeviceConfig.from_gpu(sim), link=link,
+            plans=plans, streams=streams,
+        )
+        findings = findings + list(shard_report.findings)
     report = run_multidev(
         shard, plans, sim, link, streams=streams
     )

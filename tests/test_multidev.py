@@ -189,6 +189,50 @@ class TestCorruptedStreams:
         assert any(f.code == "HB001" for f in findings)
 
 
+class TestShardPeakMemory:
+    """Regression: aggregate peak must count staged transfer payloads.
+
+    ``run_multidev`` used to report ``max(plan peaks)``, silently
+    dropping the receive-side staging buffers of the halo exchange /
+    mirror reduce payloads — a sharded run looked exactly as cheap as
+    its largest partition even while arriving rounds held live bytes.
+    """
+
+    def test_peak_exceeds_plan_peaks_when_halo_present(self, sharded2):
+        from repro.gpusim.multidev import shard_peak_mem_bytes
+
+        plan_peak = max(p.peak_mem_bytes for p in sharded2.plans)
+        peak = shard_peak_mem_bytes(sharded2.streams, sharded2.plans)
+        assert any(p.halo.size for p in sharded2.shard.parts)
+        assert peak > plan_peak
+        assert sharded2.report.peak_mem_bytes == peak
+
+    def test_staged_bytes_arithmetic_is_exact(self, sharded2):
+        from repro.gpusim.multidev import shard_peak_mem_bytes
+
+        ss = sharded2.streams
+        by_round = {}
+        for (d, _i), info in ss.transfers.items():
+            key = (d, info.round_idx)
+            by_round[key] = by_round.get(key, 0.0) + info.payload_bytes
+        want = max(
+            int(
+                sharded2.plans[d].peak_mem_bytes
+                + max(
+                    (v for (dd, _r), v in by_round.items() if dd == d),
+                    default=0.0,
+                )
+            )
+            for d in ss.streams
+        )
+        assert shard_peak_mem_bytes(ss, sharded2.plans) == want
+
+    def test_single_device_peak_is_plan_peak(self):
+        res = run_sharded(DGLLike(), "gcn", GRAPH, SIM, num_parts=1)
+        assert (res.report.peak_mem_bytes
+                == res.plans[0].peak_mem_bytes)
+
+
 class TestNewCodesRegistered:
     def test_hb004_hb005_in_catalogue(self):
         assert "HB004" in CODES and "HB005" in CODES
@@ -199,13 +243,14 @@ class TestNewCodesRegistered:
             assert text and code in text
 
     def test_no_new_lint_pass(self):
-        # The cross-device checks ride the existing hb pass: the pass
-        # registry stays at the pinned seven.
+        # The cross-device checks ride the existing hb pass; the shard
+        # checks added the two SH passes.  Pin the registry at nine.
         from repro.analysis.registry import pass_names
 
         assert set(pass_names()) == {
             "legality", "linearity", "atomics", "conservation",
             "hb", "footprint", "opportunity",
+            "shardmem", "shardflow",
         }
 
 

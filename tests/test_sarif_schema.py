@@ -144,6 +144,46 @@ class TestExporterAgainstSchema:
         assert log["runs"][0]["results"][0]["ruleId"] == "custom_pass"
 
 
+class TestShardCodesInCatalogue:
+    def test_sh_codes_registered_with_pinned_severities(self):
+        from repro.analysis import ERROR, INFO, WARNING
+
+        want = {
+            "SH001": ERROR,    # symbolic peak over device capacity
+            "SH002": ERROR,    # transfer-volume conservation drift
+            "SH003": INFO,     # load-imbalance advisory
+            "SH004": INFO,     # replication-blowup advisory
+            "SH005": WARNING,  # dead / duplicated exchange
+        }
+        for code, severity in want.items():
+            assert code in CODES, f"{code} missing from the catalogue"
+            assert CODES[code].severity == severity
+
+    def test_sh_severity_level_mapping(self):
+        log = _report_with(sorted(want for want in CODES
+                                  if want.startswith("SH"))).to_sarif()
+        validate_sarif(log)
+        levels = {
+            r["ruleId"]: r["level"] for r in log["runs"][0]["results"]
+        }
+        assert levels == {
+            "SH001": "error",
+            "SH002": "error",
+            "SH003": "note",
+            "SH004": "note",
+            "SH005": "warning",
+        }
+
+    def test_make_finding_rejects_unregistered_code(self):
+        with pytest.raises(KeyError) as exc:
+            make_finding("SH999", "device 0", "bogus")
+        msg = str(exc.value)
+        assert "SH999" in msg and "not registered" in msg
+        assert "register_code" in msg
+        # The error names the known vocabulary so the fix is obvious.
+        assert "SH001" in msg
+
+
 class TestCLISarifAgainstSchema:
     def test_lint_sweep_export_validates(self, tmp_path, capsys):
         from repro.cli import main
